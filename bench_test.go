@@ -1,0 +1,99 @@
+// Package rramft's root benchmarks regenerate every table and figure of the
+// paper's evaluation at quick scale (see cmd/rramft-bench -full for the
+// paper-scale presets). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// One benchmark per experiment id in DESIGN.md §4, plus substrate
+// micro-benchmarks. Use -bench=Fig7b etc. to regenerate one artifact.
+package rramft
+
+import (
+	"testing"
+
+	"rramft/internal/detect"
+	"rramft/internal/exp"
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+// runExperiment drives one experiment generator; the report itself is the
+// artifact, so the benchmark reports its wall-clock per regeneration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	gen, ok := exp.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := gen(exp.Quick, 1)
+		if len(rep.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig1Motivation(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig6aUniform(b *testing.B)        { runExperiment(b, "fig6a") }
+func BenchmarkFig6bGaussian(b *testing.B)       { runExperiment(b, "fig6b") }
+func BenchmarkSelectedCellTesting(b *testing.B) { runExperiment(b, "selected") }
+func BenchmarkFig7aEntireCNN(b *testing.B)      { runExperiment(b, "fig7a") }
+func BenchmarkFig7bFCOnly(b *testing.B)         { runExperiment(b, "fig7b") }
+func BenchmarkDeltaWDistribution(b *testing.B)  { runExperiment(b, "deltaw") }
+func BenchmarkThresholdLifetime(b *testing.B)   { runExperiment(b, "lifetime") }
+func BenchmarkRetrainCount(b *testing.B)        { runExperiment(b, "retrain") }
+func BenchmarkHeadline(b *testing.B)            { runExperiment(b, "headline") }
+func BenchmarkAblations(b *testing.B)           { runExperiment(b, "ablation") }
+func BenchmarkMarchComparison(b *testing.B)     { runExperiment(b, "march") }
+
+// --- substrate micro-benchmarks ---
+
+func benchCrossbar(b *testing.B, size int) *rram.Crossbar {
+	b.Helper()
+	rng := xrand.New(1)
+	cb := rram.New(size, size, rram.Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}, rng)
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			cb.Write(r, c, float64(rng.Intn(8)))
+		}
+	}
+	fm := fault.NewMap(size, size)
+	fault.Uniform{}.Inject(fm, 0.1, 0.5, rng.Split("f"))
+	cb.InjectFaults(fm)
+	return cb
+}
+
+func BenchmarkCrossbarMVM256(b *testing.B) {
+	cb := benchCrossbar(b, 256)
+	in := make([]float64, 256)
+	rng := xrand.New(2)
+	for i := range in {
+		in[i] = rng.Uniform(-1, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.MVM(in)
+	}
+}
+
+func BenchmarkDetectionPass256(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cb := benchCrossbar(b, 256)
+		b.StartTimer()
+		detect.Run(cb, detect.Config{TestSize: 16, Divisor: 16, Delta: 1})
+	}
+}
+
+func BenchmarkCrossbarWrite(b *testing.B) {
+	cb := benchCrossbar(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.Write(i%64, (i/64)%64, float64(i%8))
+	}
+}

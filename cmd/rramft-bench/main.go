@@ -1,0 +1,53 @@
+// Command rramft-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	rramft-bench [-full] [-seed N] [exp-id ...]
+//
+// With no ids, every registered experiment runs. Use -list to see ids.
+// Quick scale (default) runs reduced presets in seconds per experiment;
+// -full runs the paper-scale presets documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rramft/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale presets (slower)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	scale := exp.Quick
+	if *full {
+		scale = exp.Full
+	}
+	for _, id := range ids {
+		gen, ok := exp.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rramft-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := gen(scale, *seed)
+		fmt.Print(rep.Render())
+		fmt.Printf("[%s completed in %s at %s scale]\n\n", id, time.Since(start).Round(time.Millisecond), scale)
+	}
+}

@@ -1,0 +1,85 @@
+// Command rramft-detect runs the quiescent-voltage comparison fault
+// detection method on a synthetic crossbar and prints the precision/recall
+// trade-off as CSV.
+//
+// Example:
+//
+//	rramft-detect -size 256 -faults 0.1 -dist gaussian -selected
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+func main() {
+	var (
+		size     = flag.Int("size", 128, "crossbar rows = columns")
+		faults   = flag.Float64("faults", 0.1, "fraction of faulty cells")
+		distName = flag.String("dist", "uniform", "fault distribution: uniform or gaussian")
+		highRes  = flag.Float64("highres", 0.25, "fraction of cells in the high-resistance state")
+		divisor  = flag.Int("divisor", 16, "modulo divisor")
+		selected = flag.Bool("selected", false, "test only candidate cells (§4.3)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		testSize = flag.Int("testsize", 0, "single test size (0 = sweep powers of two)")
+	)
+	flag.Parse()
+
+	var dist fault.Distribution
+	switch *distName {
+	case "uniform":
+		dist = fault.Uniform{}
+	case "gaussian":
+		dist = fault.GaussianClusters{}
+	default:
+		log.Fatalf("unknown distribution %q", *distName)
+	}
+
+	build := func() *rram.Crossbar {
+		rng := xrand.Derive(*seed, "rramft-detect")
+		cfg := rram.Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}
+		cb := rram.New(*size, *size, cfg, rng.Split("cb"))
+		prog := rng.Split("prog")
+		for r := 0; r < *size; r++ {
+			for c := 0; c < *size; c++ {
+				if prog.Bool(*highRes) {
+					cb.Write(r, c, 0)
+				} else {
+					cb.Write(r, c, float64(1+prog.Intn(7)))
+				}
+			}
+		}
+		fm := fault.NewMap(*size, *size)
+		dist.Inject(fm, *faults, 0.5, rng.Split("faults"))
+		cb.InjectFaults(fm)
+		return cb
+	}
+
+	var testSizes []int
+	if *testSize > 0 {
+		testSizes = []int{*testSize}
+	} else {
+		for t := *size / 2; t >= 2; t /= 2 {
+			testSizes = append(testSizes, t)
+		}
+	}
+
+	fmt.Println("test_size,test_time_cycles,precision,recall,f1,tp,fp,fn")
+	for _, t := range testSizes {
+		cb := build()
+		cfg := detect.Config{
+			TestSize: t, Divisor: *divisor, Delta: 1,
+			SelectedCells: *selected, SA0CandidateMax: 0, SA1CandidateMin: 7,
+		}
+		res := detect.Run(cb, cfg)
+		conf := detect.Score(res.Pred, cb.FaultMap())
+		fmt.Printf("%d,%d,%.4f,%.4f,%.4f,%d,%d,%d\n",
+			t, res.TestTime, conf.Precision(), conf.Recall(), conf.F1(), conf.TP, conf.FP, conf.FN)
+	}
+}

@@ -1,0 +1,122 @@
+// Command rramft-train runs one fault-tolerant on-line training session on
+// a simulated RRAM computing system and prints the accuracy curve as CSV.
+//
+// Example:
+//
+//	rramft-train -net mlp -dataset mnist -faults 0.3 -ft -iters 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rramft/internal/core"
+	"rramft/internal/dataset"
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/remap"
+	"rramft/internal/rram"
+	"rramft/internal/train"
+)
+
+func main() {
+	var (
+		netKind   = flag.String("net", "mlp", "network: mlp or cnn")
+		dsName    = flag.String("dataset", "mnist", "dataset: mnist or cifar (synthetic stand-ins)")
+		iters     = flag.Int("iters", 2000, "training iterations")
+		batch     = flag.Int("batch", 16, "mini-batch size (1 = paper-style on-line training)")
+		lr        = flag.Float64("lr", 0.02, "learning rate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		faults    = flag.Float64("faults", 0.1, "initial stuck-at fault fraction")
+		gaussian  = flag.Bool("gaussian-faults", false, "cluster the initial faults (Stapper model)")
+		endurance = flag.Float64("endurance", 0, "mean cell endurance in writes (0 = unlimited)")
+		headroom  = flag.Float64("headroom", 1.5, "conductance range headroom over initial weights")
+		ft        = flag.Bool("ft", false, "enable the full fault-tolerant flow (threshold + detection + pruning + re-mapping)")
+		threshold = flag.Bool("threshold", false, "enable threshold training only")
+		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft)")
+		software  = flag.Bool("software", false, "ideal case: keep all weights in software")
+		verbose   = flag.Bool("v", false, "log per-eval progress to stderr")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "mnist":
+		ds = dataset.Generate(dataset.MNISTLike(*seed))
+	case "cifar":
+		ds = dataset.Generate(dataset.CIFARLike(*seed))
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+
+	end := fault.Unlimited()
+	if *endurance > 0 {
+		end = fault.EnduranceModel{Mean: *endurance, Std: 0.3 * *endurance, WearSA0Prob: 0.5}
+	}
+	opts := core.DefaultBuildOptions(*seed)
+	if !*software {
+		opts.OnRCS = true
+		opts.ConvOnRCS = *netKind == "cnn"
+		opts.Store = mapping.StoreConfig{
+			Crossbar:     rram.Config{Levels: 8, WriteStd: 0.05, Endurance: end},
+			WMaxHeadroom: *headroom,
+		}
+		opts.InitialFaultFrac = *faults
+		if *gaussian {
+			opts.FaultDist = fault.GaussianClusters{}
+		}
+	}
+	opts.FCSparsity = 0.6
+	opts.ConvSparsity = 0.2
+
+	var m *core.Model
+	switch *netKind {
+	case "mlp":
+		m = core.BuildMLP(ds.InSize(), []int{96, 64}, ds.Config.Classes, opts)
+	case "cnn":
+		m = core.BuildCNN(ds.Config.C, ds.Config.H, ds.Config.W, ds.Config.Classes, opts)
+	default:
+		log.Fatalf("unknown network %q", *netKind)
+	}
+
+	cfg := core.DefaultTrainConfig(*seed, *iters)
+	cfg.LR = *lr
+	cfg.LRDecay = 0
+	cfg.BatchSize = *batch
+	if *batch == 1 {
+		cfg.Momentum = 0
+	}
+	if *threshold || *ft {
+		th := train.NewThreshold()
+		th.Quantile = 0.9
+		cfg.Threshold = th
+	}
+	if *ft && !*software {
+		d := detect.DefaultConfig()
+		d.TestSize = 4
+		cfg.Detect = &d
+		cfg.DetectEvery = *detectEv
+		if cfg.DetectEvery == 0 {
+			cfg.DetectEvery = *iters / 4
+		}
+		cfg.OfflineDetect = true
+		cfg.FaultAwarePruning = true
+		cfg.Remap = remap.Genetic{}
+		cfg.RemapPhases = 2
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	res := core.Train(m, ds, cfg)
+
+	fmt.Println("iteration,test_accuracy")
+	for i := range res.Curve.X {
+		fmt.Printf("%.0f,%.4f\n", res.Curve.X[i], res.Curve.Y[i])
+	}
+	fmt.Fprintf(os.Stderr, "peak %.4f final %.4f writes %d wearouts %d faults-end %.3f detection-phases %d\n",
+		res.PeakAcc, res.FinalAcc, res.Writes, res.WearOuts, res.FaultFractionEnd, res.DetectionPhases)
+}

@@ -1,0 +1,66 @@
+// Detection sweep: exercise the quiescent-voltage comparison test method
+// across test sizes and fault distributions, printing the precision/recall
+// trade-off the paper plots in Fig. 6 — plus the selected-cell improvement
+// of §4.3.
+//
+// Run with:
+//
+//	go run ./examples/detection_sweep
+package main
+
+import (
+	"fmt"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+const size = 128
+
+func buildCrossbar(dist fault.Distribution, seed int64) *rram.Crossbar {
+	rng := xrand.Derive(seed, "example/detection")
+	cb := rram.New(size, size, rram.Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}, rng.Split("cb"))
+	prog := rng.Split("prog")
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if prog.Bool(0.3) { // 30% of cells in the high-resistance state
+				cb.Write(r, c, 0)
+			} else {
+				cb.Write(r, c, float64(1+prog.Intn(7)))
+			}
+		}
+	}
+	fm := fault.NewMap(size, size)
+	dist.Inject(fm, 0.10, 0.5, rng.Split("faults"))
+	cb.InjectFaults(fm)
+	return cb
+}
+
+func main() {
+	for _, dist := range []fault.Distribution{fault.Uniform{}, fault.GaussianClusters{}} {
+		fmt.Printf("\n-- %s fault distribution, %dx%d crossbar, 10%% faulty --\n", dist.Name(), size, size)
+		fmt.Println("testSize  cycles  precision  recall")
+		for testSize := size / 2; testSize >= 2; testSize /= 2 {
+			cb := buildCrossbar(dist, 7)
+			res := detect.Run(cb, detect.Config{TestSize: testSize, Divisor: 16, Delta: 1})
+			conf := detect.Score(res.Pred, cb.FaultMap())
+			fmt.Printf("%8d  %6d  %9.3f  %6.3f\n", testSize, res.TestTime, conf.Precision(), conf.Recall())
+		}
+	}
+
+	fmt.Printf("\n-- selected-cell testing (§4.3), gaussian faults --\n")
+	cb := buildCrossbar(fault.GaussianClusters{}, 7)
+	full := detect.Run(cb, detect.Config{TestSize: 8, Divisor: 16, Delta: 1})
+	fullConf := detect.Score(full.Pred, cb.FaultMap())
+
+	cb2 := buildCrossbar(fault.GaussianClusters{}, 7)
+	sel := detect.Run(cb2, detect.Config{
+		TestSize: 8, Divisor: 16, Delta: 1,
+		SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7,
+	})
+	selConf := detect.Score(sel.Pred, cb2.FaultMap())
+	fmt.Printf("all cells:      precision %.3f, recall %.3f, %d cycles\n", fullConf.Precision(), fullConf.Recall(), full.TestTime)
+	fmt.Printf("selected cells: precision %.3f, recall %.3f, %d cycles\n", selConf.Precision(), selConf.Recall(), sel.TestTime)
+}

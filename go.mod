@@ -1,0 +1,3 @@
+module rramft
+
+go 1.22

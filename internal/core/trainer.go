@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rramft/internal/dataset"
+	"rramft/internal/detect"
+	"rramft/internal/mapping"
+	"rramft/internal/metrics"
+	"rramft/internal/nn"
+	"rramft/internal/prune"
+	"rramft/internal/remap"
+	"rramft/internal/train"
+	"rramft/internal/xrand"
+)
+
+// TrainConfig controls one fault-tolerant training session.
+type TrainConfig struct {
+	Seed      int64
+	Iters     int
+	BatchSize int
+
+	LR         float64
+	Momentum   float64
+	LRDecay    float64 // multiplicative factor applied every DecayEvery iterations (0/1 disables)
+	DecayEvery int
+	// Schedule, when non-nil, overrides LR/LRDecay with an explicit
+	// learning-rate schedule evaluated every iteration.
+	Schedule nn.LRSchedule
+
+	// Threshold enables the paper's threshold training (nil = original
+	// training, every update written).
+	Threshold *train.Threshold
+
+	// Detect enables the maintenance phase every DetectEvery iterations:
+	// on-line fault detection followed by pruning and re-mapping.
+	Detect      *detect.Config
+	DetectEvery int
+	// OfflineDetect runs one maintenance phase before the first training
+	// iteration using perfect fault knowledge — the paper's off-line
+	// post-fabrication detection step, annotated "100% Precision, 100%
+	// recall" in its Fig. 2. Without it, dense fabrication faults poison
+	// the early iterations beyond repair.
+	OfflineDetect bool
+	// OracleDetection substitutes ground-truth fault maps for the
+	// detector (an ablation isolating detection quality).
+	OracleDetection bool
+
+	// Remap selects the neuron re-ordering optimizer used in the
+	// maintenance phase (nil disables re-mapping; pruning still runs
+	// when Detect is set, since the paper's flow generates pruning
+	// during detection).
+	Remap      remap.Optimizer
+	RemapModel remap.CostModel
+	// RemapPhases limits re-mapping to the first K maintenance phases
+	// (0 = no limit). Early phases fix the placement before the network
+	// has deeply adapted to it; re-mapping late in training relocates
+	// weights whose surroundings have compensated for them, costing a
+	// transient that may never be repaid.
+	RemapPhases int
+
+	// FaultAwarePruning is an extension beyond the paper: the pruning
+	// mask spends its sparsity budget on weights whose cells were
+	// *detected* faulty first, neutralizing them per-cell through the
+	// same disconnect mechanism as any pruned weight. The paper's own
+	// flow is fault-blind here (its P matrices come from magnitude
+	// pruning) and relies on re-mapping to align faults with zeros at
+	// neuron granularity; EXP-ABL compares the two. Detection false
+	// positives waste budget and false negatives leave faults alive, so
+	// detection quality feeds through either way.
+	FaultAwarePruning bool
+
+	// EvalEvery controls accuracy-curve sampling (0 = Iters/25).
+	EvalEvery int
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultTrainConfig returns the baseline on-line training configuration.
+func DefaultTrainConfig(seed int64, iters int) TrainConfig {
+	return TrainConfig{
+		Seed: seed, Iters: iters, BatchSize: 16,
+		LR: 0.05, Momentum: 0.9, LRDecay: 0.5, DecayEvery: iters / 3,
+	}
+}
+
+// RunResult reports one training session.
+type RunResult struct {
+	// Curve is test accuracy versus iteration count.
+	Curve *metrics.Series
+	// PeakAcc and FinalAcc summarize the curve.
+	PeakAcc, FinalAcc float64
+	// FaultFractionEnd is the hard-fault fraction after training.
+	FaultFractionEnd float64
+	// Writes is the number of physical writes issued during training
+	// (excluding initial programming).
+	Writes int64
+	// WearOuts is the number of cells that died during the session.
+	WearOuts int64
+	// DetectionPhases counts maintenance phases executed.
+	DetectionPhases int
+	// DetectionScore aggregates detection quality over all phases
+	// (empty when detection is disabled or oracle).
+	DetectionScore metrics.Confusion
+	// RemapWrites counts re-programming writes caused by re-mapping.
+	RemapWrites int64
+}
+
+// Train runs the complete Fig. 2 flow on model m over ds and returns the
+// accuracy curve and hardware statistics.
+func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
+	if cfg.Iters <= 0 {
+		panic("core: Iters must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = cfg.Iters / 25
+		if evalEvery == 0 {
+			evalEvery = 1
+		}
+	}
+	rng := xrand.Derive(cfg.Seed, "core/train")
+	batcher := dataset.NewBatcher(ds.TrainX, ds.TrainY, cfg.BatchSize, rng.Split("batch"))
+	loss := &nn.SoftmaxCrossEntropy{}
+	opt := nn.NewSGD(cfg.LR)
+	opt.Momentum = cfg.Momentum
+	if cfg.Threshold != nil {
+		opt.Policy = cfg.Threshold
+	}
+
+	startStats := m.HardwareStats()
+	res := &RunResult{Curve: &metrics.Series{Name: "accuracy"}}
+	remapRng := rng.Split("remap")
+	phase := 0
+
+	if cfg.OfflineDetect {
+		phase++
+		offCfg := cfg
+		offCfg.OracleDetection = true // off-line test achieves 100%/100%
+		maintain(m, offCfg, res, phase, remapRng)
+	}
+
+	for it := 1; it <= cfg.Iters; it++ {
+		bx, by := batcher.Next()
+		loss.Loss(m.Net.Forward(bx), by)
+		m.Net.ZeroGrads()
+		m.Net.Backward(loss.Grad(by))
+		opt.Step(m.Net.Params())
+
+		if cfg.Schedule != nil {
+			opt.LR = cfg.Schedule.LR(it)
+		} else if cfg.LRDecay > 0 && cfg.LRDecay != 1 && cfg.DecayEvery > 0 && it%cfg.DecayEvery == 0 {
+			opt.LR *= cfg.LRDecay
+		}
+
+		// Evaluate before any maintenance at the same iteration: the
+		// pruning/re-mapping steps cause a transient accuracy dip that
+		// the next training interval repairs (visible as the dips in the
+		// paper's Fig. 7 curves), and sampling mid-dip every time would
+		// alias the curve.
+		if it%evalEvery == 0 || it == cfg.Iters {
+			acc := m.Net.Accuracy(ds.TestX, ds.TestY)
+			res.Curve.Append(float64(it), acc)
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "iter %d: acc %.4f faults %.3f\n", it, acc, m.FaultFraction())
+			}
+		}
+
+		if cfg.Detect != nil && cfg.DetectEvery > 0 && it%cfg.DetectEvery == 0 {
+			res.DetectionPhases++
+			phase++
+			maintain(m, cfg, res, phase, remapRng)
+		}
+	}
+
+	endStats := m.HardwareStats()
+	res.Writes = endStats.Writes - startStats.Writes
+	res.WearOuts = endStats.WearOuts - startStats.WearOuts
+	res.FaultFractionEnd = m.FaultFraction()
+	res.PeakAcc = res.Curve.MaxY()
+	res.FinalAcc = res.Curve.FinalY()
+	return res
+}
+
+// maintain executes one maintenance phase: detection → pruning → re-mapping
+// (Fig. 2's right-hand loop). phase is the 1-based maintenance count; the
+// pruning target ramps up geometrically across phases (Han-style iterative
+// pruning — pruning the full target in one shot mid-training permanently
+// cripples the network, since pruned weights are frozen).
+func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.Stream) {
+	// Phase 1: update the fault-free/faulty status of RRAM cells.
+	for _, b := range m.RCSBindings() {
+		if cfg.OracleDetection {
+			b.Store.SetEstimatedFaults(b.Store.Crossbar().FaultMap())
+			continue
+		}
+		dres := b.Store.RunDetection(*cfg.Detect)
+		res.DetectionScore.Add(detect.Score(dres.Pred, b.Store.Crossbar().FaultMap()))
+	}
+	// Phase 2: compute the *prospective* pruning distribution P from the
+	// current effective weights at a ramped sparsity target (½, ¾, ⅞, …
+	// of the final target across phases). Unless disabled, detected-
+	// faulty cells get score zero — an SA1 cell reads ±WMax no matter
+	// how useless the weight is, so raw read magnitudes are artifacts.
+	ramp := 1 - math.Pow(0.5, float64(phase))
+	masks := map[*StoreBinding]*prune.Mask{}
+	for _, b := range m.RCSBindings() {
+		if b.Sparsity <= 0 {
+			continue
+		}
+		masks[b] = pruningMask(b, cfg, ramp)
+	}
+
+	// Phase 3: re-order neurons boundary by boundary against the
+	// prospective masks, moving kept weights off (estimated) faulty
+	// cells and parking prunable weights on them.
+	if cfg.Remap != nil && (cfg.RemapPhases == 0 || phase <= cfg.RemapPhases) {
+		for _, bd := range m.Boundaries {
+			lb, rb := m.Bindings[bd.Left], m.Bindings[bd.Right]
+			left, right := lb.Store, rb.Store
+			if left == nil || right == nil {
+				continue
+			}
+			fl := left.FaultByLogicalRows()
+			fr := right.FaultByLogicalCols()
+			if fl == nil || fr == nil {
+				continue // no fault estimate yet
+			}
+			_, n := left.Shape()
+			conf := remap.BuildConflicts(remap.BoundaryInputs{
+				N:          n,
+				KeepLeft:   keepBool(left, masks[lb]),
+				FaultLeft:  fl,
+				KeepRight:  keepBool(right, masks[rb]),
+				FaultRight: fr,
+				Model:      cfg.RemapModel,
+			})
+			perm := cfg.Remap.Optimize(conf, left.ColPerm(), rng)
+			// Left's column permutation and right's row permutation
+			// move in lock-step; skip when the optimizer found nothing
+			// better than the current placement (saving the
+			// re-programming writes).
+			if conf.Cost(perm) >= conf.Cost(left.ColPerm()) {
+				continue
+			}
+			res.RemapWrites += int64(left.SetColPerm(perm))
+			res.RemapWrites += int64(right.SetRowPerm(perm))
+		}
+	}
+
+	// Phase 4: recompute and install the final pruning masks under the
+	// new placement — weights that escaped faulty cells regain their
+	// real magnitudes; faults that could not be moved under zeros are
+	// neutralized by the disconnect. Masks are monotone across phases
+	// (pruned weights stay pruned, Han-style), which keeps noisy
+	// detection estimates from churning the mask phase over phase.
+	for _, b := range m.RCSBindings() {
+		if b.Sparsity <= 0 {
+			continue
+		}
+		mask := pruningMask(b, cfg, ramp)
+		old := b.Store.KeepMask()
+		budget := len(mask.Keep) - mask.CountKept()
+		final := prune.NewMask(mask.Rows, mask.Cols)
+		allow := budget
+		for i := range final.Keep {
+			if !old.V[i] {
+				final.Keep[i] = false
+				allow--
+			}
+		}
+		for i := range final.Keep {
+			if allow <= 0 {
+				break
+			}
+			if !mask.Keep[i] && final.Keep[i] {
+				final.Keep[i] = false
+				allow--
+			}
+		}
+		b.Store.SetPruneMask(final)
+	}
+}
+
+// pruningMask scores the binding's weights and cuts the ramped sparsity
+// target. Detected-faulty cells score zero unless FaultBlindPruning.
+func pruningMask(b *StoreBinding, cfg TrainConfig, ramp float64) *prune.Mask {
+	score := b.Store.Snapshot()
+	if cfg.FaultAwarePruning {
+		rows, cols := b.Store.Shape()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if b.Store.EstimatedFaultAt(i, j).IsFault() {
+					score.Set(i, j, 0)
+				}
+			}
+		}
+	}
+	sparsity := b.Sparsity * ramp
+	if cfg.FaultAwarePruning {
+		// Fault coverage floor: the budget never leaves a detected
+		// fault un-neutralized while the final target allows covering
+		// it.
+		if frac := estFaultFraction(b.Store); frac > sparsity && frac < b.Sparsity {
+			sparsity = frac
+		} else if frac >= b.Sparsity {
+			sparsity = b.Sparsity
+		}
+	}
+	if sparsity >= 1 {
+		sparsity = 0.99
+	}
+	return prune.MagnitudeMask(score, sparsity)
+}
+
+// estFaultFraction returns the fraction of the store's cells estimated
+// faulty (0 before any detection).
+func estFaultFraction(s *mapping.CrossbarStore) float64 {
+	est := s.EstimatedFaults()
+	if est == nil {
+		return 0
+	}
+	return est.FaultFraction()
+}
+
+// keepBool converts a pruning mask to the remap keep matrix; a nil mask
+// keeps everything.
+func keepBool(s *mapping.CrossbarStore, m *prune.Mask) *remap.BoolMat {
+	rows, cols := s.Shape()
+	out := remap.NewBoolMat(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out.Set(i, j, m == nil || m.At(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// Batcher yields shuffled mini-batches from a training set, reshuffling at
+// every epoch boundary. It reuses its internal batch buffers, so callers
+// must consume a batch before requesting the next one.
+type Batcher struct {
+	x         *tensor.Dense
+	y         []int
+	batchSize int
+	rng       *xrand.Stream
+
+	order []int
+	pos   int
+	bx    *tensor.Dense
+	by    []int
+}
+
+// NewBatcher builds a batcher over (x, y) with the given batch size.
+func NewBatcher(x *tensor.Dense, y []int, batchSize int, rng *xrand.Stream) *Batcher {
+	if batchSize <= 0 || batchSize > x.Rows {
+		batchSize = x.Rows
+	}
+	b := &Batcher{
+		x: x, y: y, batchSize: batchSize, rng: rng,
+		order: make([]int, x.Rows),
+		bx:    tensor.NewDense(batchSize, x.Cols),
+		by:    make([]int, batchSize),
+	}
+	for i := range b.order {
+		b.order[i] = i
+	}
+	b.shuffle()
+	return b
+}
+
+func (b *Batcher) shuffle() {
+	b.rng.Shuffle(len(b.order), func(i, j int) {
+		b.order[i], b.order[j] = b.order[j], b.order[i]
+	})
+	b.pos = 0
+}
+
+// Next returns the next mini-batch, wrapping (and reshuffling) at epoch end.
+// The returned tensors are owned by the batcher and overwritten on the next
+// call.
+func (b *Batcher) Next() (*tensor.Dense, []int) {
+	for i := 0; i < b.batchSize; i++ {
+		if b.pos >= len(b.order) {
+			b.shuffle()
+		}
+		src := b.order[b.pos]
+		b.pos++
+		copy(b.bx.Row(i), b.x.Row(src))
+		b.by[i] = b.y[src]
+	}
+	return b.bx, b.by
+}
+
+// Epoch reports how many full passes have been started (0-based fraction is
+// not tracked; this is a coarse progress indicator).
+func (b *Batcher) BatchSize() int { return b.batchSize }

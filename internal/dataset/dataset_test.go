@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"testing"
+
+	"rramft/internal/nn"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(MNISTLike(42))
+	b := Generate(MNISTLike(42))
+	if !tensor.Equal(a.TrainX, b.TrainX, 0) {
+		t.Error("same seed produced different training data")
+	}
+	for i := range a.TrainY {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	c := Generate(MNISTLike(43))
+	if tensor.Equal(a.TrainX, c.TrainX, 0) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d := Generate(CIFARLike(1))
+	cfg := d.Config
+	if d.TrainX.Rows != cfg.TrainN || d.TrainX.Cols != cfg.C*cfg.H*cfg.W {
+		t.Errorf("train shape %dx%d", d.TrainX.Rows, d.TrainX.Cols)
+	}
+	if d.TestX.Rows != cfg.TestN {
+		t.Errorf("test rows %d", d.TestX.Rows)
+	}
+	if len(d.TrainY) != cfg.TrainN || len(d.TestY) != cfg.TestN {
+		t.Error("label length mismatch")
+	}
+	if d.InSize() != 3*16*16 {
+		t.Errorf("InSize = %d", d.InSize())
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	d := Generate(MNISTLike(7))
+	counts := make([]int, d.Config.Classes)
+	for _, y := range d.TrainY {
+		if y < 0 || y >= d.Config.Classes {
+			t.Fatalf("label %d out of range", y)
+		}
+		counts[y]++
+	}
+	want := d.Config.TrainN / d.Config.Classes
+	for c, n := range counts {
+		if n != want {
+			t.Errorf("class %d has %d samples, want %d", c, n, want)
+		}
+	}
+}
+
+func TestLabelNoise(t *testing.T) {
+	cfg := MNISTLike(3)
+	cfg.LabelNoise = 1.0 // every label randomized
+	cfg.TrainN = 1000
+	d := Generate(cfg)
+	// With full label noise the balanced structure must be destroyed
+	// (some class counts differ from the balanced value).
+	counts := make([]int, cfg.Classes)
+	for _, y := range d.TrainY {
+		counts[y]++
+	}
+	balanced := true
+	for _, n := range counts {
+		if n != cfg.TrainN/cfg.Classes {
+			balanced = false
+		}
+	}
+	if balanced {
+		t.Error("label noise had no visible effect")
+	}
+	// Test labels must stay clean.
+	clean := Generate(MNISTLike(3))
+	cfgd := Generate(cfg)
+	for i := range clean.TestY {
+		if clean.TestY[i] != cfgd.TestY[i] {
+			t.Fatal("label noise leaked into the test set")
+		}
+	}
+}
+
+func TestMNISTLikeIsLearnable(t *testing.T) {
+	// The MNIST stand-in must be learnable to high accuracy by the
+	// paper's MLP topology — this is the "ideal case" substrate.
+	d := Generate(MNISTLike(5))
+	rng := xrand.New(99)
+	net := nn.NewNetwork(
+		nn.NewDenseHe("fc1", d.InSize(), 64, rng),
+		nn.NewReLU("r1"),
+		nn.NewDenseHe("fc2", 64, 10, rng),
+	)
+	trainQuick(t, net, d, 600, 0.1)
+	if acc := net.Accuracy(d.TestX, d.TestY); acc < 0.9 {
+		t.Errorf("MNIST-like test accuracy %.3f < 0.90", acc)
+	}
+}
+
+func TestCIFARLikeIsHarder(t *testing.T) {
+	dm := Generate(MNISTLike(5))
+	dc := Generate(CIFARLike(5))
+	rng := xrand.New(100)
+	mlpM := nn.NewNetwork(
+		nn.NewDenseHe("fc1", dm.InSize(), 48, rng),
+		nn.NewReLU("r"),
+		nn.NewDenseHe("fc2", 48, 10, rng),
+	)
+	mlpC := nn.NewNetwork(
+		nn.NewDenseHe("fc1", dc.InSize(), 48, rng),
+		nn.NewReLU("r"),
+		nn.NewDenseHe("fc2", 48, 10, rng),
+	)
+	trainQuick(t, mlpM, dm, 400, 0.1)
+	trainQuick(t, mlpC, dc, 400, 0.1)
+	accM := mlpM.Accuracy(dm.TestX, dm.TestY)
+	accC := mlpC.Accuracy(dc.TestX, dc.TestY)
+	if accC >= accM {
+		t.Errorf("CIFAR-like (%.3f) should be harder than MNIST-like (%.3f)", accC, accM)
+	}
+}
+
+func trainQuick(t *testing.T, net *nn.Network, d *Dataset, iters int, lr float64) {
+	t.Helper()
+	rng := xrand.New(d.Config.Seed + 1000)
+	batcher := NewBatcher(d.TrainX, d.TrainY, 32, rng)
+	loss := &nn.SoftmaxCrossEntropy{}
+	opt := nn.NewSGD(lr)
+	opt.Momentum = 0.9
+	for i := 0; i < iters; i++ {
+		bx, by := batcher.Next()
+		loss.Loss(net.Forward(bx), by)
+		net.ZeroGrads()
+		net.Backward(loss.Grad(by))
+		opt.Step(net.Params())
+	}
+}
+
+func TestBatcherCoversEpoch(t *testing.T) {
+	x := tensor.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	y := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBatcher(x, y, 5, xrand.New(1))
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		bx, by := b.Next()
+		for r := 0; r < bx.Rows; r++ {
+			if int(bx.At(r, 0)) != by[r] {
+				t.Fatal("sample/label pairing broken by shuffle")
+			}
+			seen[by[r]] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("one epoch covered %d/10 samples", len(seen))
+	}
+}
+
+func TestBatcherWrapsAndReshuffles(t *testing.T) {
+	x := tensor.NewDense(4, 1)
+	y := []int{0, 1, 2, 3}
+	b := NewBatcher(x, y, 3, xrand.New(2))
+	for i := 0; i < 10; i++ {
+		bx, by := b.Next()
+		if bx.Rows != 3 || len(by) != 3 {
+			t.Fatal("batch size not honoured across epoch wrap")
+		}
+	}
+}
+
+func TestBatcherOversizeBatchClamped(t *testing.T) {
+	x := tensor.NewDense(4, 1)
+	y := []int{0, 1, 2, 3}
+	b := NewBatcher(x, y, 100, xrand.New(3))
+	if b.BatchSize() != 4 {
+		t.Errorf("BatchSize = %d, want clamped to 4", b.BatchSize())
+	}
+}
+
+func TestNonNegativePixels(t *testing.T) {
+	d := Generate(MNISTLike(21))
+	zeros := 0
+	for _, v := range d.TrainX.Data {
+		if v < 0 {
+			t.Fatal("negative pixel in a non-negative dataset")
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(d.TrainX.Data))
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("zero-pixel fraction %.2f outside the MNIST-like sparse regime", frac)
+	}
+}
+
+func TestClassMixCapsAccuracy(t *testing.T) {
+	// More class mixing must make the task harder, not easier.
+	easy := MNISTLike(22)
+	easy.ClassMix = 0.2
+	hard := MNISTLike(22)
+	hard.ClassMix = 0.95
+	de := Generate(easy)
+	dh := Generate(hard)
+	rng := xrand.New(23)
+	netE := nn.NewNetwork(nn.NewDenseHe("fc1", de.InSize(), 32, rng), nn.NewReLU("r"), nn.NewDenseHe("fc2", 32, 10, rng))
+	netH := nn.NewNetwork(nn.NewDenseHe("fc1", dh.InSize(), 32, rng), nn.NewReLU("r"), nn.NewDenseHe("fc2", 32, 10, rng))
+	trainQuick(t, netE, de, 300, 0.1)
+	trainQuick(t, netH, dh, 300, 0.1)
+	if netH.Accuracy(dh.TestX, dh.TestY) >= netE.Accuracy(de.TestX, de.TestY) {
+		t.Error("heavier class mixing did not reduce achievable accuracy")
+	}
+}

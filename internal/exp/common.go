@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"rramft/internal/core"
+	"rramft/internal/dataset"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/metrics"
+	"rramft/internal/rram"
+)
+
+// trainingScale bundles the size parameters that differ between Quick and
+// Full presets of the training experiments.
+type trainingScale struct {
+	TrainN, TestN int
+	Iters         int
+	EvalPoints    int
+	Hidden        []int
+	DetectEvery   int
+}
+
+func mlpScale(s Scale) trainingScale {
+	if s == Full {
+		return trainingScale{TrainN: 3000, TestN: 600, Iters: 6000, EvalPoints: 20, Hidden: []int{96, 64}, DetectEvery: 750}
+	}
+	return trainingScale{TrainN: 800, TestN: 250, Iters: 1200, EvalPoints: 6, Hidden: []int{48, 32}, DetectEvery: 300}
+}
+
+func cnnScale(s Scale) trainingScale {
+	if s == Full {
+		return trainingScale{TrainN: 2500, TestN: 500, Iters: 3000, EvalPoints: 15, DetectEvery: 500}
+	}
+	return trainingScale{TrainN: 500, TestN: 150, Iters: 400, EvalPoints: 5, DetectEvery: 100}
+}
+
+// cifarData generates the CIFAR-10 stand-in at the given scale.
+func cifarData(ts trainingScale, seed int64) *dataset.Dataset {
+	cfg := dataset.CIFARLike(seed)
+	cfg.TrainN = ts.TrainN
+	cfg.TestN = ts.TestN
+	return dataset.Generate(cfg)
+}
+
+// mnistData generates the MNIST stand-in at the given scale.
+func mnistData(ts trainingScale, seed int64) *dataset.Dataset {
+	cfg := dataset.MNISTLike(seed)
+	cfg.TrainN = ts.TrainN
+	cfg.TestN = ts.TestN
+	return dataset.Generate(cfg)
+}
+
+// storeCfg is the crossbar configuration shared by the training
+// experiments: 8-level cells, 0.05-level write variance.
+func storeCfg(endurance fault.EnduranceModel, headroom float64) mapping.StoreConfig {
+	return mapping.StoreConfig{
+		Crossbar:     rram.Config{Levels: 8, WriteStd: 0.05, Endurance: endurance},
+		WMaxHeadroom: headroom,
+	}
+}
+
+// scaledEndurance maps the paper's endurance means onto our iteration
+// budget: the paper trains 5×10⁶ iterations against a 5×10⁶ mean-endurance
+// cell, i.e. mean endurance ≈ iteration budget. lifetimes is the ratio
+// endurance/iterations (1 reproduces the paper's low-endurance case).
+func scaledEndurance(iters int, lifetimes float64, sa0 float64) fault.EnduranceModel {
+	mean := float64(iters) * lifetimes
+	return fault.EnduranceModel{Mean: mean, Std: 0.3 * mean, WearSA0Prob: sa0}
+}
+
+// curveSeries converts a training run's accuracy curve into a named series
+// (accuracy in percent, matching the paper's axes).
+func curveSeries(name string, res *core.RunResult) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i := range res.Curve.X {
+		s.Append(res.Curve.X[i], 100*res.Curve.Y[i])
+	}
+	return s
+}
+
+// pct formats a fraction as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

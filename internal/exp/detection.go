@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/metrics"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+// detectCrossbar builds a crossbar of the given size with training-like
+// contents (uniform random levels, a configurable fraction of cells parked
+// in the high-resistance state) and the given fault injection.
+func detectCrossbar(size int, dist fault.Distribution, faultFrac, highResFrac float64, seed int64) *rram.Crossbar {
+	rng := xrand.Derive(seed, fmt.Sprintf("detect/%s/%d", dist.Name(), size))
+	cfg := rram.Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}
+	cb := rram.New(size, size, cfg, rng.Split("cb"))
+	prog := rng.Split("prog")
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if prog.Bool(highResFrac) {
+				cb.Write(r, c, 0)
+			} else {
+				cb.Write(r, c, float64(1+prog.Intn(7)))
+			}
+		}
+	}
+	fm := fault.NewMap(size, size)
+	dist.Inject(fm, faultFrac, 0.5, rng.Split("faults"))
+	cb.InjectFaults(fm)
+	return cb
+}
+
+// detectionTradeoff sweeps the test size for one crossbar size, returning
+// (testTime, recall) and (testTime, precision) series.
+func detectionTradeoff(size int, dist fault.Distribution, seed int64) (recall, precision *metrics.Series) {
+	name := fmt.Sprintf("%dx%d", size, size)
+	recall = &metrics.Series{Name: name}
+	precision = &metrics.Series{Name: name}
+	for testSize := size / 2; testSize >= 2; testSize /= 2 {
+		// Fresh crossbar per point: detection perturbs cell state.
+		cb := detectCrossbar(size, dist, 0.10, 0.25, seed)
+		res := detect.Run(cb, detect.Config{TestSize: testSize, Divisor: 16, Delta: 1})
+		conf := detect.Score(res.Pred, cb.FaultMap())
+		recall.Append(float64(res.TestTime), conf.Recall())
+		precision.Append(float64(res.TestTime), conf.Precision())
+	}
+	return recall, precision
+}
+
+func detectionFigure(id, title string, dist fault.Distribution, scale Scale, seed int64) *Report {
+	sizes := []int{64, 128}
+	if scale == Full {
+		sizes = []int{128, 256, 512, 1024}
+	}
+	recallTab := &metrics.Table{Title: title + " — recall vs test time (cycles)", XLabel: "testtime"}
+	precTab := &metrics.Table{Title: title + " — precision vs test time (cycles)", XLabel: "testtime"}
+	for _, size := range sizes {
+		r, p := detectionTradeoff(size, dist, seed)
+		recallTab.Series = append(recallTab.Series, r)
+		precTab.Series = append(precTab.Series, p)
+	}
+	var minRecall float64 = 1
+	for _, s := range recallTab.Series {
+		for _, v := range s.Y {
+			if v < minRecall {
+				minRecall = v
+			}
+		}
+	}
+	return &Report{
+		ID:     id,
+		Title:  title,
+		Tables: []*metrics.Table{recallTab, precTab},
+		Notes: []string{
+			fmt.Sprintf("10%% of cells faulty; divisor 16; worst-case recall %.3f (paper: always > 0.87)", minRecall),
+			"precision grows with test time (smaller test size localizes faults); recall stays high and nearly flat",
+		},
+	}
+}
+
+// Fig6aUniform reproduces Fig. 6(a): detection trade-offs under the uniform
+// fault distribution.
+func Fig6aUniform(scale Scale, seed int64) *Report {
+	return detectionFigure("fig6a", "Fig. 6(a) uniform fault distribution", fault.Uniform{}, scale, seed)
+}
+
+// Fig6bGaussian reproduces Fig. 6(b): detection trade-offs under the
+// Gaussian-cluster fault distribution.
+func Fig6bGaussian(scale Scale, seed int64) *Report {
+	return detectionFigure("fig6b", "Fig. 6(b) Gaussian fault distribution", fault.GaussianClusters{}, scale, seed)
+}
+
+// SelectedCellTesting reproduces the §6.3 comparison: testing only selected
+// cells (SA0 candidates in high-resistance state, SA1 candidates in
+// low-resistance state) versus testing all cells, under a Gaussian fault
+// distribution with 10% faulty cells and ~30% of cells in the
+// high-resistance state.
+func SelectedCellTesting(scale Scale, seed int64) *Report {
+	size := 128
+	if scale == Full {
+		size = 512
+	}
+	dist := fault.GaussianClusters{}
+	testSize := size / 32
+	if testSize < 8 {
+		testSize = 8
+	}
+
+	all := &metrics.Series{Name: "all-cells"}
+	sel := &metrics.Series{Name: "selected"}
+	allTime := &metrics.Series{Name: "all-time"}
+	selTime := &metrics.Series{Name: "sel-time"}
+	// Three seeds for stability; X is the trial index.
+	for trial := 0; trial < 3; trial++ {
+		s := seed + int64(trial)
+		cbAll := detectCrossbar(size, dist, 0.10, 0.30, s)
+		resAll := detect.Run(cbAll, detect.Config{TestSize: testSize, Divisor: 16, Delta: 1})
+		confAll := detect.Score(resAll.Pred, cbAll.FaultMap())
+
+		cbSel := detectCrossbar(size, dist, 0.10, 0.30, s)
+		resSel := detect.Run(cbSel, detect.Config{
+			TestSize: testSize, Divisor: 16, Delta: 1,
+			SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7,
+		})
+		confSel := detect.Score(resSel.Pred, cbSel.FaultMap())
+
+		x := float64(trial + 1)
+		all.Append(x, confAll.Precision())
+		sel.Append(x, confSel.Precision())
+		allTime.Append(x, float64(resAll.TestTime))
+		selTime.Append(x, float64(resSel.TestTime))
+	}
+	avg := func(s *metrics.Series) float64 {
+		var t float64
+		for _, v := range s.Y {
+			t += v
+		}
+		return t / float64(len(s.Y))
+	}
+	tab := &metrics.Table{
+		Title:   "§6.3 — precision: all-cell vs selected-cell testing",
+		XLabel:  "trial",
+		Series:  []*metrics.Series{all, sel},
+		Decimal: 3,
+	}
+	tab2 := &metrics.Table{
+		Title:   "§6.3 — test time (cycles): all-cell vs selected-cell",
+		XLabel:  "trial",
+		Series:  []*metrics.Series{allTime, selTime},
+		Decimal: 0,
+	}
+	return &Report{
+		ID:     "selected",
+		Title:  "Selected-cell testing improvement",
+		Tables: []*metrics.Table{tab, tab2},
+		Notes: []string{
+			fmt.Sprintf("mean precision: all-cells %.3f -> selected %.3f (paper: ~0.50 -> ~0.77)", avg(all), avg(sel)),
+			fmt.Sprintf("mean test time: %.0f -> %.0f cycles", avg(allTime), avg(selTime)),
+		},
+	}
+}

@@ -1,0 +1,83 @@
+// Package exp contains one generator per experiment in the paper's
+// evaluation (DESIGN.md §4): each returns a Report whose tables print the
+// same rows/series the paper's figures plot. The generators are shared by
+// cmd/rramft-bench (full scale) and the repository-root benchmarks (quick
+// scale).
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"rramft/internal/metrics"
+)
+
+// Scale selects the experiment preset.
+type Scale int
+
+const (
+	// Quick runs a reduced preset suitable for `go test -bench` — small
+	// crossbars, short training budgets. Shapes are preserved; absolute
+	// numbers are noisier.
+	Quick Scale = iota
+	// Full runs the paper-scale preset (with the endurance/iteration
+	// scaling documented in DESIGN.md §2). Minutes, not hours.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("### %s — %s\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.Render()
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Generator produces a report at the given scale with the given base seed.
+type Generator func(scale Scale, seed int64) *Report
+
+// Registry maps experiment ids to their generators.
+var Registry = map[string]Generator{
+	"fig1":     Fig1Motivation,
+	"fig6a":    Fig6aUniform,
+	"fig6b":    Fig6bGaussian,
+	"selected": SelectedCellTesting,
+	"fig7a":    Fig7aEntireCNN,
+	"fig7b":    Fig7bFCOnly,
+	"deltaw":   DeltaWDistribution,
+	"lifetime": ThresholdLifetime,
+	"march":    MarchComparison,
+	"retrain":  RetrainCount,
+	"headline": Headline,
+	"ablation": Ablations,
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment id from DESIGN.md §4 must be registered.
+	want := []string{"fig1", "fig6a", "fig6b", "selected", "fig7a", "fig7b",
+		"deltaw", "lifetime", "retrain", "headline", "ablation", "march"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("Scale names wrong")
+	}
+}
+
+// The cheap generators run end-to-end in tests; the training-heavy ones are
+// exercised by the root benchmarks instead.
+func TestCheapGeneratorsProduceReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment generators are slow")
+	}
+	for _, id := range []string{"fig6a", "fig6b", "selected", "deltaw", "march"} {
+		rep := Registry[id](Quick, 1)
+		if rep.ID != id {
+			t.Errorf("%s: report id %q", id, rep.ID)
+		}
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s: no tables", id)
+		}
+		out := rep.Render()
+		if !strings.Contains(out, "### "+id) {
+			t.Errorf("%s: Render missing header", id)
+		}
+		for _, tab := range rep.Tables {
+			for _, s := range tab.Series {
+				if len(s.X) == 0 {
+					t.Errorf("%s: empty series %q in %q", id, s.Name, tab.Title)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectionFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := Fig6aUniform(Quick, 2)
+	if len(rep.Tables) != 2 {
+		t.Fatalf("want recall+precision tables, got %d", len(rep.Tables))
+	}
+	// Recall must stay above the paper's 0.87 floor-ish at quick scale.
+	for _, s := range rep.Tables[0].Series {
+		for i, v := range s.Y {
+			if v < 0.8 {
+				t.Errorf("recall %v at point %d of %s", v, i, s.Name)
+			}
+		}
+	}
+	// Precision must increase with test time for each crossbar size.
+	for _, s := range rep.Tables[1].Series {
+		if len(s.Y) < 2 {
+			continue
+		}
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("precision of %s did not improve with test time: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestSelectedCellImprovesPrecision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := SelectedCellTesting(Quick, 3)
+	all := rep.Tables[0].Series[0]
+	sel := rep.Tables[0].Series[1]
+	for i := range all.Y {
+		if sel.Y[i] <= all.Y[i] {
+			t.Errorf("trial %d: selected precision %.3f not above all-cell %.3f", i, sel.Y[i], all.Y[i])
+		}
+	}
+}
+
+func TestScaledEndurance(t *testing.T) {
+	m := scaledEndurance(5000, 2, 0.7)
+	if m.Mean != 10000 {
+		t.Errorf("mean = %v", m.Mean)
+	}
+	if m.WearSA0Prob != 0.7 {
+		t.Errorf("polarity = %v", m.WearSA0Prob)
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"math"
+	"sort"
+
+	"rramft/internal/xrand"
+)
+
+// Distribution places fabrication defects on a crossbar. Implementations
+// must be deterministic given the rng stream.
+type Distribution interface {
+	// Inject marks approximately frac of the cells in m as faulty,
+	// splitting faults between SA0 and SA1 according to sa0Frac.
+	Inject(m *Map, frac, sa0Frac float64, rng *xrand.Stream)
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Uniform scatters faults independently and uniformly at random — the
+// simplest of the paper's "widely-used fault distributions" [5][19].
+type Uniform struct{}
+
+// Name returns "uniform".
+func (Uniform) Name() string { return "uniform" }
+
+// Inject marks an exact count of uniformly chosen cells as faulty.
+func (Uniform) Inject(m *Map, frac, sa0Frac float64, rng *xrand.Stream) {
+	total := len(m.Kinds)
+	want := int(math.Round(frac * float64(total)))
+	perm := rng.Perm(total)
+	for i := 0; i < want && i < total; i++ {
+		m.Kinds[perm[i]] = pickKind(sa0Frac, rng)
+	}
+}
+
+// GaussianClusters concentrates faults around a few random defect centers,
+// modelling spatially correlated fabrication defects (Stapper-style cluster
+// models [19]). Fault probability for each cell is a mixture of isotropic
+// Gaussian bumps, rescaled so the expected fault count matches frac.
+type GaussianClusters struct {
+	// Centers is the number of defect clusters; 0 defaults to 3.
+	Centers int
+	// SigmaFrac is each cluster's standard deviation as a fraction of
+	// the crossbar edge length; 0 defaults to 0.15.
+	SigmaFrac float64
+}
+
+// Name returns "gaussian".
+func (GaussianClusters) Name() string { return "gaussian" }
+
+// Inject draws cluster centers, scores every cell by its mixture density and
+// marks the highest-probability cells faulty with Bernoulli thinning so the
+// expected fraction is frac while preserving clustering.
+func (g GaussianClusters) Inject(m *Map, frac, sa0Frac float64, rng *xrand.Stream) {
+	centers := g.Centers
+	if centers <= 0 {
+		centers = 3
+	}
+	sigmaFrac := g.SigmaFrac
+	if sigmaFrac <= 0 {
+		sigmaFrac = 0.15
+	}
+	type pt struct{ r, c float64 }
+	cs := make([]pt, centers)
+	for i := range cs {
+		cs[i] = pt{rng.Uniform(0, float64(m.Rows)), rng.Uniform(0, float64(m.Cols))}
+	}
+	sigma := sigmaFrac * float64(max(m.Rows, m.Cols))
+	inv2s2 := 1 / (2 * sigma * sigma)
+
+	total := len(m.Kinds)
+	score := make([]float64, total)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			var d float64
+			for _, ct := range cs {
+				dr := float64(r) - ct.r
+				dc := float64(c) - ct.c
+				d += math.Exp(-(dr*dr + dc*dc) * inv2s2)
+			}
+			score[r*m.Cols+c] = d
+		}
+	}
+	// Mark the top-score cells, with mild random thinning so cluster
+	// edges are fuzzy rather than razor-sharp.
+	want := int(math.Round(frac * float64(total)))
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return score[idx[a]] > score[idx[b]] })
+	marked := 0
+	for _, i := range idx {
+		if marked >= want {
+			break
+		}
+		if rng.Bool(0.85) { // thinning: 15% of top cells skipped
+			m.Kinds[i] = pickKind(sa0Frac, rng)
+			marked++
+		}
+	}
+	// Fill any shortfall uniformly.
+	for _, i := range idx {
+		if marked >= want {
+			break
+		}
+		if m.Kinds[i] == None {
+			m.Kinds[i] = pickKind(sa0Frac, rng)
+			marked++
+		}
+	}
+}
+
+func pickKind(sa0Frac float64, rng *xrand.Stream) Kind {
+	if rng.Bool(sa0Frac) {
+		return SA0
+	}
+	return SA1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

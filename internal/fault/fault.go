@@ -1,0 +1,96 @@
+// Package fault models RRAM hard faults: stuck-at-0 / stuck-at-1 fault
+// kinds, spatial distributions of fabrication defects (uniform and
+// Gaussian-cluster, the two distributions the paper evaluates), and the
+// Gaussian write-endurance model that creates new hard faults during
+// training.
+//
+// Convention (following the paper): SA0 is stuck at the high-resistance
+// state, i.e. the cell conductance is stuck at zero — the cell reads as a
+// zero weight. SA1 is stuck at the low-resistance state — the cell reads at
+// the maximum conductance level.
+package fault
+
+import "fmt"
+
+// Kind classifies a cell's hard-fault state.
+type Kind uint8
+
+const (
+	// None marks a healthy, programmable cell.
+	None Kind = iota
+	// SA0 is stuck-at-0: conductance fixed at the minimum (zero weight).
+	SA0
+	// SA1 is stuck-at-1: conductance fixed at the maximum level.
+	SA1
+)
+
+// String returns a short human-readable name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "ok"
+	case SA0:
+		return "SA0"
+	case SA1:
+		return "SA1"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsFault reports whether k is a hard fault.
+func (k Kind) IsFault() bool { return k != None }
+
+// Map is a rows×cols matrix of fault kinds (row-major).
+type Map struct {
+	Rows, Cols int
+	Kinds      []Kind
+}
+
+// NewMap allocates an all-healthy fault map.
+func NewMap(rows, cols int) *Map {
+	return &Map{Rows: rows, Cols: cols, Kinds: make([]Kind, rows*cols)}
+}
+
+// At returns the kind at (r, c).
+func (m *Map) At(r, c int) Kind { return m.Kinds[r*m.Cols+c] }
+
+// Set assigns the kind at (r, c).
+func (m *Map) Set(r, c int, k Kind) { m.Kinds[r*m.Cols+c] = k }
+
+// Count returns the number of cells with the given kind.
+func (m *Map) Count(k Kind) int {
+	n := 0
+	for _, v := range m.Kinds {
+		if v == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFaulty returns the number of cells with any hard fault.
+func (m *Map) CountFaulty() int {
+	n := 0
+	for _, v := range m.Kinds {
+		if v.IsFault() {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultFraction returns CountFaulty divided by the cell count.
+func (m *Map) FaultFraction() float64 {
+	if len(m.Kinds) == 0 {
+		return 0
+	}
+	return float64(m.CountFaulty()) / float64(len(m.Kinds))
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	out := NewMap(m.Rows, m.Cols)
+	copy(out.Kinds, m.Kinds)
+	return out
+}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rramft/internal/xrand"
+)
+
+func TestKindString(t *testing.T) {
+	if None.String() != "ok" || SA0.String() != "SA0" || SA1.String() != "SA1" {
+		t.Error("Kind String values wrong")
+	}
+	if None.IsFault() {
+		t.Error("None must not be a fault")
+	}
+	if !SA0.IsFault() || !SA1.IsFault() {
+		t.Error("SA0/SA1 must be faults")
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap(4, 5)
+	if m.CountFaulty() != 0 {
+		t.Error("fresh map has faults")
+	}
+	m.Set(1, 2, SA0)
+	m.Set(3, 4, SA1)
+	if m.At(1, 2) != SA0 || m.At(3, 4) != SA1 {
+		t.Error("Set/At round trip failed")
+	}
+	if m.Count(SA0) != 1 || m.Count(SA1) != 1 || m.CountFaulty() != 2 {
+		t.Error("counts wrong")
+	}
+	if got := m.FaultFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("FaultFraction = %v, want 0.1", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, SA1)
+	if m.At(0, 0) != None {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestUniformInjectExactCount(t *testing.T) {
+	m := NewMap(64, 64)
+	Uniform{}.Inject(m, 0.1, 0.5, xrand.New(1))
+	want := int(math.Round(0.1 * 64 * 64))
+	if got := m.CountFaulty(); got != want {
+		t.Errorf("injected %d faults, want %d", got, want)
+	}
+}
+
+func TestUniformInjectPolaritySplit(t *testing.T) {
+	m := NewMap(128, 128)
+	Uniform{}.Inject(m, 0.5, 0.7, xrand.New(2))
+	sa0 := float64(m.Count(SA0))
+	total := float64(m.CountFaulty())
+	if frac := sa0 / total; math.Abs(frac-0.7) > 0.05 {
+		t.Errorf("SA0 fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestGaussianClustersCount(t *testing.T) {
+	m := NewMap(128, 128)
+	GaussianClusters{}.Inject(m, 0.1, 0.5, xrand.New(3))
+	want := int(math.Round(0.1 * 128 * 128))
+	if got := m.CountFaulty(); got != want {
+		t.Errorf("injected %d faults, want %d", got, want)
+	}
+}
+
+func TestGaussianClustersAreClustered(t *testing.T) {
+	// Clustered faults must have far higher neighbour-adjacency than
+	// uniform faults at the same density.
+	adjacency := func(m *Map) float64 {
+		adj, n := 0, 0
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if !m.At(r, c).IsFault() {
+					continue
+				}
+				n++
+				if r+1 < m.Rows && m.At(r+1, c).IsFault() {
+					adj++
+				}
+				if c+1 < m.Cols && m.At(r, c+1).IsFault() {
+					adj++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(adj) / float64(n)
+	}
+	mu := NewMap(128, 128)
+	Uniform{}.Inject(mu, 0.1, 0.5, xrand.New(4))
+	mg := NewMap(128, 128)
+	GaussianClusters{}.Inject(mg, 0.1, 0.5, xrand.New(4))
+	au, ag := adjacency(mu), adjacency(mg)
+	if ag < 2*au {
+		t.Errorf("gaussian adjacency %.3f not clearly above uniform %.3f", ag, au)
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	if (Uniform{}).Name() != "uniform" {
+		t.Error("Uniform name")
+	}
+	if (GaussianClusters{}).Name() != "gaussian" {
+		t.Error("GaussianClusters name")
+	}
+}
+
+func TestEnduranceSampleBudget(t *testing.T) {
+	m := EnduranceModel{Mean: 1000, Std: 100, WearSA0Prob: 0.5}
+	rng := xrand.New(5)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		b := m.SampleBudget(rng)
+		if b < 1 {
+			t.Fatalf("budget %v < 1", b)
+		}
+		sum += b
+	}
+	if mean := sum / n; math.Abs(mean-1000) > 20 {
+		t.Errorf("mean budget %.1f, want ~1000", mean)
+	}
+}
+
+func TestEnduranceUnlimited(t *testing.T) {
+	m := Unlimited()
+	if !m.IsUnlimited() {
+		t.Error("Unlimited not unlimited")
+	}
+	if b := m.SampleBudget(xrand.New(6)); !math.IsInf(b, 1) {
+		t.Errorf("unlimited budget = %v", b)
+	}
+}
+
+func TestWearKindPolarity(t *testing.T) {
+	rng := xrand.New(7)
+	allSA0 := EnduranceModel{Mean: 1, Std: 0, WearSA0Prob: 1}
+	allSA1 := EnduranceModel{Mean: 1, Std: 0, WearSA0Prob: 0}
+	for i := 0; i < 20; i++ {
+		if allSA0.WearKind(rng) != SA0 {
+			t.Fatal("WearSA0Prob=1 produced SA1")
+		}
+		if allSA1.WearKind(rng) != SA1 {
+			t.Fatal("WearSA0Prob=0 produced SA0")
+		}
+	}
+}
+
+func TestPaperEnduranceModels(t *testing.T) {
+	low := LowEndurance(1)
+	if low.Mean != 5e6 || low.Std != 1.5e6 {
+		t.Errorf("low endurance = %+v", low)
+	}
+	high := HighEndurance(1)
+	if high.Mean != 1e8 || high.Std != 3e7 {
+		t.Errorf("high endurance = %+v", high)
+	}
+	scaled := LowEndurance(0.001)
+	if scaled.Mean != 5e3 {
+		t.Errorf("scaled mean = %v", scaled.Mean)
+	}
+}
+
+// Property: injection never exceeds the requested fraction by more than one
+// cell and never marks a cell twice (counts are consistent).
+func TestInjectCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		rows := 8 + rng.Intn(40)
+		cols := 8 + rng.Intn(40)
+		frac := rng.Uniform(0, 0.6)
+		m := NewMap(rows, cols)
+		Uniform{}.Inject(m, frac, 0.5, rng)
+		want := int(math.Round(frac * float64(rows*cols)))
+		return m.CountFaulty() == want && m.Count(SA0)+m.Count(SA1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

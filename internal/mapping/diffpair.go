@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// DiffPairStore is an alternative weight encoding used by several RCS
+// designs: each logical weight w is the difference of two cell
+// conductances, w = (g⁺ − g⁻)·scale, held on a positive and a negative
+// crossbar. Compared to the magnitude+sign encoding it needs no peripheral
+// sign register, but a zero weight is *two* zero-conductance cells, and an
+// SA1 fault on either array pushes the weight to ±wMax. Provided for the
+// encoding ablation; the fault-tolerant trainer uses CrossbarStore.
+type DiffPairStore struct {
+	name       string
+	rows, cols int
+	pos, neg   *rram.Crossbar
+	wMax       float64
+	levelScale float64
+	wTarget    []float64
+	readBuf    *tensor.Dense
+}
+
+// NewDiffPairStore builds a differential store initialized with w.
+func NewDiffPairStore(name string, w *tensor.Dense, cfg StoreConfig, rng *xrand.Stream) *DiffPairStore {
+	wMax := cfg.WMax
+	if wMax <= 0 {
+		wMax = 1.5 * w.MaxAbs()
+		if wMax == 0 {
+			wMax = 1
+		}
+	}
+	s := &DiffPairStore{
+		name: name, rows: w.Rows, cols: w.Cols,
+		pos:        rram.New(w.Rows, w.Cols, cfg.Crossbar, rng.Split("pos")),
+		neg:        rram.New(w.Rows, w.Cols, cfg.Crossbar, rng.Split("neg")),
+		wMax:       wMax,
+		levelScale: wMax / float64(cfg.Crossbar.Levels-1),
+		wTarget:    make([]float64, w.Rows*w.Cols),
+		readBuf:    tensor.NewDense(w.Rows, w.Cols),
+	}
+	for i, v := range w.Data {
+		s.wTarget[i] = clampAbs(v, wMax)
+		s.program(i)
+	}
+	return s
+}
+
+// Name returns the store's name.
+func (s *DiffPairStore) Name() string { return s.name }
+
+// Shape returns the logical dimensions.
+func (s *DiffPairStore) Shape() (int, int) { return s.rows, s.cols }
+
+// Positive returns the positive-side crossbar.
+func (s *DiffPairStore) Positive() *rram.Crossbar { return s.pos }
+
+// Negative returns the negative-side crossbar.
+func (s *DiffPairStore) Negative() *rram.Crossbar { return s.neg }
+
+// Read returns the effective weights (g⁺ − g⁻)·scale.
+func (s *DiffPairStore) Read() *tensor.Dense {
+	for i := 0; i < s.rows; i++ {
+		row := s.readBuf.Row(i)
+		for j := 0; j < s.cols; j++ {
+			row[j] = (s.pos.EffectiveLevel(i, j) - s.neg.EffectiveLevel(i, j)) * s.levelScale
+		}
+	}
+	return s.readBuf
+}
+
+// ApplyDelta commits W += delta; each changed weight programs both cells of
+// its pair (the inactive side is driven to zero).
+func (s *DiffPairStore) ApplyDelta(delta *tensor.Dense) {
+	if delta.Rows != s.rows || delta.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: delta %dx%d for store %dx%d", delta.Rows, delta.Cols, s.rows, s.cols))
+	}
+	for i, d := range delta.Data {
+		if d == 0 {
+			continue
+		}
+		s.wTarget[i] = clampAbs(s.wTarget[i]+d, s.wMax)
+		s.program(i)
+	}
+}
+
+func (s *DiffPairStore) program(i int) {
+	r, c := i/s.cols, i%s.cols
+	w := s.wTarget[i]
+	if w >= 0 {
+		s.pos.Write(r, c, w/s.levelScale)
+		s.neg.Write(r, c, 0)
+	} else {
+		s.pos.Write(r, c, 0)
+		s.neg.Write(r, c, math.Abs(w)/s.levelScale)
+	}
+}

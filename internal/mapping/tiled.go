@@ -1,0 +1,201 @@
+package mapping
+
+import (
+	"fmt"
+
+	"rramft/internal/detect"
+	"rramft/internal/metrics"
+	"rramft/internal/prune"
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// TiledStore is an nn.WeightStore that splits a large logical weight matrix
+// across a grid of fixed-size crossbar tiles — fabrication yields bounded
+// array sizes (the paper evaluates 128×128 … 1024×1024), so layers larger
+// than one array are tiled in practice. Each tile is an independent
+// CrossbarStore with its own faults, endurance, pruning state and
+// detection; tiles share nothing but the logical matrix they jointly hold.
+//
+// Neuron re-ordering across tiles is intentionally not implemented on this
+// store: a lane swap that crosses a tile boundary also moves the lane's
+// peripheral circuits, which is exactly the routing overhead the paper's
+// intra-array re-ordering avoids. Use CrossbarStore for re-mapping studies.
+type TiledStore struct {
+	name         string
+	rows, cols   int
+	tileR, tileC int
+	gridR, gridC int
+	tiles        []*CrossbarStore // row-major grid
+	readBuf      *tensor.Dense
+	deltaBuf     *tensor.Dense
+}
+
+// NewTiledStore builds a tiled store over w with tiles of at most
+// tileR×tileC cells. Edge tiles are smaller when the dimensions do not
+// divide evenly.
+func NewTiledStore(name string, w *tensor.Dense, tileR, tileC int, cfg StoreConfig, rng *xrand.Stream) *TiledStore {
+	if tileR <= 0 || tileC <= 0 {
+		panic(fmt.Sprintf("mapping: invalid tile size %dx%d", tileR, tileC))
+	}
+	s := &TiledStore{
+		name: name, rows: w.Rows, cols: w.Cols,
+		tileR: tileR, tileC: tileC,
+		gridR: (w.Rows + tileR - 1) / tileR,
+		gridC: (w.Cols + tileC - 1) / tileC,
+	}
+	s.readBuf = tensor.NewDense(w.Rows, w.Cols)
+	s.deltaBuf = tensor.NewDense(tileR, tileC)
+	for gr := 0; gr < s.gridR; gr++ {
+		for gc := 0; gc < s.gridC; gc++ {
+			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+			sub := tensor.NewDense(r1-r0, c1-c0)
+			for r := r0; r < r1; r++ {
+				copy(sub.Row(r-r0), w.Row(r)[c0:c1])
+			}
+			tileName := fmt.Sprintf("%s[%d,%d]", name, gr, gc)
+			// Each tile scales its conductance range to the full
+			// matrix, not its own slice, so tiles agree on the
+			// weight-per-level mapping.
+			tcfg := cfg
+			if tcfg.WMax <= 0 {
+				head := tcfg.WMaxHeadroom
+				if head <= 0 {
+					head = 1.5
+				}
+				tcfg.WMax = head * w.MaxAbs()
+				if tcfg.WMax == 0 {
+					tcfg.WMax = 1
+				}
+			}
+			s.tiles = append(s.tiles, NewCrossbarStore(tileName, sub, tcfg, rng.Split(tileName)))
+		}
+	}
+	return s
+}
+
+func (s *TiledStore) tileBounds(gr, gc int) (r0, c0, r1, c1 int) {
+	r0 = gr * s.tileR
+	c0 = gc * s.tileC
+	r1 = min(r0+s.tileR, s.rows)
+	c1 = min(c0+s.tileC, s.cols)
+	return r0, c0, r1, c1
+}
+
+// Name returns the store's name.
+func (s *TiledStore) Name() string { return s.name }
+
+// Shape returns the logical dimensions.
+func (s *TiledStore) Shape() (int, int) { return s.rows, s.cols }
+
+// GridShape returns the tile-grid dimensions.
+func (s *TiledStore) GridShape() (int, int) { return s.gridR, s.gridC }
+
+// Tile returns the sub-store at grid position (gr, gc).
+func (s *TiledStore) Tile(gr, gc int) *CrossbarStore { return s.tiles[gr*s.gridC+gc] }
+
+// Tiles returns all sub-stores in row-major order.
+func (s *TiledStore) Tiles() []*CrossbarStore { return s.tiles }
+
+// Read assembles the effective weights from every tile.
+func (s *TiledStore) Read() *tensor.Dense {
+	for gr := 0; gr < s.gridR; gr++ {
+		for gc := 0; gc < s.gridC; gc++ {
+			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+			sub := s.Tile(gr, gc).Read()
+			for r := r0; r < r1; r++ {
+				copy(s.readBuf.Row(r)[c0:c1], sub.Row(r-r0))
+			}
+		}
+	}
+	return s.readBuf
+}
+
+// ApplyDelta routes each tile's slice of the update to that tile.
+func (s *TiledStore) ApplyDelta(delta *tensor.Dense) {
+	if delta.Rows != s.rows || delta.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: delta %dx%d for tiled store %dx%d", delta.Rows, delta.Cols, s.rows, s.cols))
+	}
+	for gr := 0; gr < s.gridR; gr++ {
+		for gc := 0; gc < s.gridC; gc++ {
+			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+			sub := s.deltaBuf
+			if r1-r0 != sub.Rows || c1-c0 != sub.Cols {
+				sub = tensor.NewDense(r1-r0, c1-c0)
+			}
+			changed := false
+			for r := r0; r < r1; r++ {
+				src := delta.Row(r)[c0:c1]
+				copy(sub.Row(r-r0), src)
+				if !changed {
+					for _, v := range src {
+						if v != 0 {
+							changed = true
+							break
+						}
+					}
+				}
+			}
+			if changed {
+				s.Tile(gr, gc).ApplyDelta(sub)
+			}
+		}
+	}
+}
+
+// SetPruneMask splits the logical mask across tiles.
+func (s *TiledStore) SetPruneMask(m *prune.Mask) {
+	if m == nil {
+		for _, t := range s.tiles {
+			t.SetPruneMask(nil)
+		}
+		return
+	}
+	if m.Rows != s.rows || m.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: mask %dx%d for tiled store %dx%d", m.Rows, m.Cols, s.rows, s.cols))
+	}
+	for gr := 0; gr < s.gridR; gr++ {
+		for gc := 0; gc < s.gridC; gc++ {
+			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+			sub := prune.NewMask(r1-r0, c1-c0)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					sub.Set(r-r0, c-c0, m.At(r, c))
+				}
+			}
+			s.Tile(gr, gc).SetPruneMask(sub)
+		}
+	}
+}
+
+// RunDetection executes one detection phase on every tile. Tiles have
+// independent peripheries and test concurrently, so the reported test time
+// is the maximum over tiles; the confusion matrix aggregates all tiles.
+func (s *TiledStore) RunDetection(cfg detect.Config) (testTime int, score metrics.Confusion) {
+	for _, t := range s.tiles {
+		res := t.RunDetection(cfg)
+		if res.TestTime > testTime {
+			testTime = res.TestTime
+		}
+		score.Add(detect.Score(res.Pred, t.Crossbar().FaultMap()))
+	}
+	return testTime, score
+}
+
+// Crossbars exposes every tile's physical array (for fault injection and
+// statistics).
+func (s *TiledStore) Crossbars() []*rram.Crossbar {
+	out := make([]*rram.Crossbar, len(s.tiles))
+	for i, t := range s.tiles {
+		out[i] = t.Crossbar()
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

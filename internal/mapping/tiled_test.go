@@ -1,0 +1,187 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/nn"
+	"rramft/internal/prune"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+var _ nn.WeightStore = (*TiledStore)(nil)
+
+func randomWeights(rows, cols int, seed int64) *tensor.Dense {
+	rng := xrand.New(seed)
+	w := tensor.NewDense(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = rng.Uniform(-1, 1)
+	}
+	return w
+}
+
+func TestTiledGridShape(t *testing.T) {
+	w := randomWeights(10, 7, 1)
+	s := NewTiledStore("fc", w, 4, 3, noiselessStoreConfig(), xrand.New(2))
+	gr, gc := s.GridShape()
+	if gr != 3 || gc != 3 {
+		t.Fatalf("grid %dx%d, want 3x3", gr, gc)
+	}
+	// Edge tiles are smaller.
+	if r, c := s.Tile(2, 2).Shape(); r != 2 || c != 1 {
+		t.Errorf("edge tile %dx%d, want 2x1", r, c)
+	}
+}
+
+func TestTiledReadMatchesMonolithic(t *testing.T) {
+	w := randomWeights(9, 11, 3)
+	tiled := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), xrand.New(4))
+	if !tensor.Equal(tiled.Read(), w, 1e-9) {
+		t.Error("tiled Read does not reproduce the logical weights")
+	}
+}
+
+func TestTiledApplyDelta(t *testing.T) {
+	w := randomWeights(6, 6, 5)
+	s := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), xrand.New(6))
+	delta := tensor.NewDense(6, 6)
+	delta.Set(0, 0, 0.25)  // tile (0,0)
+	delta.Set(5, 5, -0.25) // tile (1,1)
+	s.ApplyDelta(delta)
+	got := s.Read()
+	if math.Abs(got.At(0, 0)-(w.At(0, 0)+0.25)) > 1e-9 {
+		t.Errorf("tile (0,0) delta lost: %v", got.At(0, 0))
+	}
+	if math.Abs(got.At(5, 5)-(w.At(5, 5)-0.25)) > 1e-9 {
+		t.Errorf("tile (1,1) delta lost: %v", got.At(5, 5))
+	}
+	// Untouched entries unchanged.
+	if math.Abs(got.At(3, 3)-w.At(3, 3)) > 1e-9 {
+		t.Error("untouched entry changed")
+	}
+}
+
+func TestTiledSharedWeightScale(t *testing.T) {
+	// All tiles must map weight values to levels identically even though
+	// their local sub-matrices have different maxima.
+	w := tensor.NewDense(4, 4)
+	w.Set(0, 0, 1.0)  // tile (0,0) holds the global max
+	w.Set(2, 2, 0.25) // tile (1,1) max is much smaller
+	s := NewTiledStore("fc", w, 2, 2, noiselessStoreConfig(), xrand.New(7))
+	if a, b := s.Tile(0, 0).WMax(), s.Tile(1, 1).WMax(); a != b {
+		t.Errorf("tiles disagree on WMax: %v vs %v", a, b)
+	}
+	if got := s.Read().At(2, 2); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("small-tile weight %v, want 0.25", got)
+	}
+}
+
+func TestTiledFaultsLocalizedToTile(t *testing.T) {
+	w := randomWeights(8, 8, 8)
+	s := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), xrand.New(9))
+	// Break one cell in tile (0,1): logical position (1, 6).
+	s.Tile(0, 1).Crossbar().SetFault(1, 2, fault.SA0)
+	got := s.Read()
+	if got.At(1, 6) != 0 {
+		t.Errorf("fault not visible at logical (1,6): %v", got.At(1, 6))
+	}
+	if math.Abs(got.At(1, 2)-w.At(1, 2)) > 1e-9 {
+		t.Error("fault leaked into the wrong tile")
+	}
+}
+
+func TestTiledPruneMaskSplit(t *testing.T) {
+	w := randomWeights(6, 6, 10)
+	s := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), xrand.New(11))
+	m := prune.NewMask(6, 6)
+	m.Set(5, 5, false)
+	s.SetPruneMask(m)
+	if got := s.Read().At(5, 5); got != 0 {
+		t.Errorf("pruned weight reads %v", got)
+	}
+	if !s.Tile(1, 1).Kept(1, 1) == false {
+		// logical (5,5) = tile (1,1) local (1,1)
+		t.Error("mask not routed to the right tile")
+	}
+	delta := tensor.NewDense(6, 6)
+	delta.Set(5, 5, 1)
+	s.ApplyDelta(delta)
+	if got := s.Read().At(5, 5); got != 0 {
+		t.Error("pruned weight trained through tiled store")
+	}
+}
+
+func TestTiledDetection(t *testing.T) {
+	w := randomWeights(8, 8, 12)
+	s := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), xrand.New(13))
+	s.Tile(0, 0).Crossbar().SetFault(2, 2, fault.SA1)
+	testTime, score := s.RunDetection(detect.Config{TestSize: 2, Divisor: 16, Delta: 1})
+	if testTime <= 0 {
+		t.Error("no test time reported")
+	}
+	if score.TP != 1 || score.FN != 0 {
+		t.Errorf("planted fault not found: %v", score)
+	}
+}
+
+func TestTiledStoreDrivesDenseLayer(t *testing.T) {
+	w := randomWeights(12, 8, 14)
+	s := NewTiledStore("fc", w, 5, 5, noiselessStoreConfig(), xrand.New(15))
+	layer := nn.NewDense("fc", s)
+	x := tensor.NewDense(2, 12)
+	rng := xrand.New(16)
+	for i := range x.Data {
+		x.Data[i] = rng.Uniform(-1, 1)
+	}
+	got := layer.Forward(x)
+	want := tensor.MatMulNew(x, w)
+	if !tensor.Equal(got, want, 1e-8) {
+		t.Error("tiled-store forward differs from dense matmul")
+	}
+}
+
+func TestTiledStoreTrainsEndToEnd(t *testing.T) {
+	// A small classification problem trained through a TiledStore with a
+	// broken tile: learning must succeed around the dead region.
+	rng := xrand.New(90)
+	w := tensor.NewDense(8, 4)
+	nn.HeInit(w, 8, rng.Split("init"))
+	s := NewTiledStore("fc", w, 4, 4, noiselessStoreConfig(), rng.Split("store"))
+	// Kill a quarter of tile (0,0).
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			s.Tile(0, 0).Crossbar().SetFault(r, c, fault.SA0)
+		}
+	}
+	net := nn.NewNetwork(nn.NewDense("fc", s))
+	x := tensor.NewDense(16, 8)
+	labels := make([]int, 16)
+	cls := xrand.New(91)
+	for i := 0; i < 16; i++ {
+		labels[i] = i % 4
+		x.Set(i, labels[i], 1)
+		x.Set(i, 4+cls.Intn(4), 0.3)
+	}
+	loss := &nn.SoftmaxCrossEntropy{}
+	opt := nn.NewSGD(0.5)
+	for it := 0; it < 200; it++ {
+		loss.Loss(net.Forward(x), labels)
+		net.ZeroGrads()
+		net.Backward(loss.Grad(labels))
+		opt.Step(net.Params())
+	}
+	if acc := net.Accuracy(x, labels); acc < 0.9 {
+		t.Errorf("tiled training accuracy %.2f < 0.9", acc)
+	}
+	// Training consumed endurance on multiple tiles.
+	writes := int64(0)
+	for _, cb := range s.Crossbars() {
+		writes += cb.Stats().Writes
+	}
+	if writes == 0 {
+		t.Error("no writes recorded across tiles")
+	}
+}

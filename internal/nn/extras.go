@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"rramft/internal/tensor"
+)
+
+// LeakyReLU is the leaky rectified-linear activation,
+// y = x for x > 0, αx otherwise.
+type LeakyReLU struct {
+	name  string
+	Alpha float64
+	x     *tensor.Dense
+	y     *tensor.Dense
+	dx    *tensor.Dense
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
+	return &LeakyReLU{name: name, Alpha: alpha}
+}
+
+// Name returns the layer name.
+func (l *LeakyReLU) Name() string { return l.name }
+
+// Params returns nil; the activation has no parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// OutSize is the identity.
+func (l *LeakyReLU) OutSize(in int) int { return in }
+
+// Forward applies the activation element-wise.
+func (l *LeakyReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	l.x = x
+	if l.y == nil || !l.y.SameShape(x) {
+		l.y = tensor.NewDense(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			l.y.Data[i] = v
+		} else {
+			l.y.Data[i] = l.Alpha * v
+		}
+	}
+	return l.y
+}
+
+// Backward gates the gradient by the active slope.
+func (l *LeakyReLU) Backward(dout *tensor.Dense) *tensor.Dense {
+	if l.dx == nil || !l.dx.SameShape(dout) {
+		l.dx = tensor.NewDense(dout.Rows, dout.Cols)
+	}
+	for i, g := range dout.Data {
+		if l.x.Data[i] > 0 {
+			l.dx.Data[i] = g
+		} else {
+			l.dx.Data[i] = l.Alpha * g
+		}
+	}
+	return l.dx
+}
+
+// AvgPool2 is a 2×2, stride-2 average-pooling layer over channel-major
+// feature maps. Spatial dimensions must be even.
+type AvgPool2 struct {
+	name       string
+	C, H, W    int
+	outH, outW int
+	y          *tensor.Dense
+	dx         *tensor.Dense
+}
+
+// NewAvgPool2 builds a 2×2 average pool over c×h×w inputs.
+func NewAvgPool2(name string, c, h, w int) *AvgPool2 {
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: %s needs even spatial dims, got %dx%d", name, h, w))
+	}
+	return &AvgPool2{name: name, C: c, H: h, W: w, outH: h / 2, outW: w / 2}
+}
+
+// Name returns the layer name.
+func (l *AvgPool2) Name() string { return l.name }
+
+// Params returns nil; pooling has no parameters.
+func (l *AvgPool2) Params() []*Param { return nil }
+
+// OutSize returns c·(h/2)·(w/2).
+func (l *AvgPool2) OutSize(in int) int {
+	if in != l.C*l.H*l.W {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.C*l.H*l.W, in))
+	}
+	return l.C * l.outH * l.outW
+}
+
+// Forward averages each 2×2 window.
+func (l *AvgPool2) Forward(x *tensor.Dense) *tensor.Dense {
+	outSize := l.C * l.outH * l.outW
+	if l.y == nil || l.y.Rows != x.Rows {
+		l.y = tensor.NewDense(x.Rows, outSize)
+	}
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := l.y.Row(i)
+		for c := 0; c < l.C; c++ {
+			chIn := c * l.H * l.W
+			chOut := c * l.outH * l.outW
+			for oy := 0; oy < l.outH; oy++ {
+				for ox := 0; ox < l.outW; ox++ {
+					i00 := chIn + (2*oy)*l.W + 2*ox
+					sum := src[i00] + src[i00+1] + src[i00+l.W] + src[i00+l.W+1]
+					dst[chOut+oy*l.outW+ox] = sum / 4
+				}
+			}
+		}
+	}
+	return l.y
+}
+
+// Backward spreads each gradient evenly over its window.
+func (l *AvgPool2) Backward(dout *tensor.Dense) *tensor.Dense {
+	inSize := l.C * l.H * l.W
+	if l.dx == nil || l.dx.Rows != dout.Rows {
+		l.dx = tensor.NewDense(dout.Rows, inSize)
+	}
+	l.dx.Zero()
+	for i := 0; i < dout.Rows; i++ {
+		drow := dout.Row(i)
+		xrow := l.dx.Row(i)
+		for c := 0; c < l.C; c++ {
+			chIn := c * l.H * l.W
+			chOut := c * l.outH * l.outW
+			for oy := 0; oy < l.outH; oy++ {
+				for ox := 0; ox < l.outW; ox++ {
+					g := drow[chOut+oy*l.outW+ox] / 4
+					i00 := chIn + (2*oy)*l.W + 2*ox
+					xrow[i00] += g
+					xrow[i00+1] += g
+					xrow[i00+l.W] += g
+					xrow[i00+l.W+1] += g
+				}
+			}
+		}
+	}
+	return l.dx
+}
+
+// LRSchedule maps an iteration index to a learning rate. The paper's
+// training "first sets LR to a large value and gradually decreases it".
+type LRSchedule interface {
+	// LR returns the learning rate for iteration it (1-based).
+	LR(it int) float64
+}
+
+// ConstantLR keeps the learning rate fixed.
+type ConstantLR struct{ Value float64 }
+
+// LR returns the constant rate.
+func (s ConstantLR) LR(int) float64 { return s.Value }
+
+// StepLR multiplies the base rate by Gamma every StepSize iterations.
+type StepLR struct {
+	Base     float64
+	Gamma    float64
+	StepSize int
+}
+
+// LR returns Base·Gamma^⌊it/StepSize⌋.
+func (s StepLR) LR(it int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(it/s.StepSize))
+}
+
+// CosineLR anneals from Base to Floor over Horizon iterations.
+type CosineLR struct {
+	Base, Floor float64
+	Horizon     int
+}
+
+// LR returns the cosine-annealed rate (clamped at Floor past the horizon).
+func (s CosineLR) LR(it int) float64 {
+	if s.Horizon <= 0 || it >= s.Horizon {
+		return s.Floor
+	}
+	t := float64(it) / float64(s.Horizon)
+	return s.Floor + (s.Base-s.Floor)*0.5*(1+math.Cos(math.Pi*t))
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+func TestLeakyReLUForward(t *testing.T) {
+	l := NewLeakyReLU("lr", 0.1)
+	x := tensor.FromSlice(1, 4, []float64{-2, -0.5, 0.5, 2})
+	y := l.Forward(x)
+	want := []float64{-0.2, -0.05, 0.5, 2}
+	for i, v := range want {
+		if math.Abs(y.Data[i]-v) > 1e-12 {
+			t.Errorf("y[%d] = %v, want %v", i, y.Data[i], v)
+		}
+	}
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	rng := xrand.New(200)
+	net := NewNetwork(
+		NewDenseHe("fc1", 5, 6, rng),
+		NewLeakyReLU("lr", 0.2),
+		NewDenseHe("fc2", 6, 3, rng),
+	)
+	x := tensor.NewDense(3, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.Uniform(0.1, 1) // avoid kinks for finite differences
+	}
+	checkNetGradients(t, net, x, []int{0, 1, 2}, 2e-4)
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	p := NewAvgPool2("ap", 1, 2, 2)
+	x := tensor.FromSlice(1, 4, []float64{1, 2, 3, 6})
+	y := p.Forward(x)
+	if y.Cols != 1 || y.Data[0] != 3 {
+		t.Errorf("avg = %v, want 3", y.Data)
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := xrand.New(201)
+	net := NewNetwork(
+		NewDenseHe("fc1", 16, 16, rng),
+		NewAvgPool2("ap", 1, 4, 4),
+		NewDenseHe("fc2", 4, 3, rng),
+	)
+	x := tensor.NewDense(2, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.Uniform(-1, 1)
+	}
+	checkNetGradients(t, net, x, []int{0, 2}, 2e-4)
+}
+
+func TestAvgPoolBackwardConservesGradient(t *testing.T) {
+	p := NewAvgPool2("ap", 2, 4, 4)
+	x := tensor.NewDense(1, 32)
+	p.Forward(x)
+	dout := tensor.NewDense(1, 8)
+	dout.Fill(1)
+	dx := p.Backward(dout)
+	var sum float64
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if math.Abs(sum-8) > 1e-12 {
+		t.Errorf("gradient mass %v, want 8", sum)
+	}
+}
+
+func TestAvgPoolPanicsOnOddDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd spatial dims")
+		}
+	}()
+	NewAvgPool2("ap", 1, 3, 4)
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.5, StepSize: 100}
+	if s.LR(0) != 1 || s.LR(99) != 1 {
+		t.Error("step 0 wrong")
+	}
+	if s.LR(100) != 0.5 || s.LR(250) != 0.25 {
+		t.Errorf("decayed: %v %v", s.LR(100), s.LR(250))
+	}
+	flat := StepLR{Base: 2, Gamma: 0.5}
+	if flat.LR(1000) != 2 {
+		t.Error("StepSize<=0 must be constant")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR{Base: 1, Floor: 0.1, Horizon: 100}
+	if got := s.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LR(0) = %v", got)
+	}
+	if got := s.LR(50); math.Abs(got-0.55) > 1e-12 {
+		t.Errorf("LR(50) = %v, want 0.55", got)
+	}
+	if got := s.LR(100); got != 0.1 {
+		t.Errorf("LR(horizon) = %v", got)
+	}
+	if got := s.LR(500); got != 0.1 {
+		t.Errorf("past horizon = %v", got)
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for it := 0; it <= 100; it += 5 {
+		v := s.LR(it)
+		if v > prev {
+			t.Fatalf("cosine schedule increased at %d", it)
+		}
+		prev = v
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if (ConstantLR{Value: 0.3}).LR(12345) != 0.3 {
+		t.Error("ConstantLR not constant")
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"rramft/internal/tensor"
+)
+
+// SoftmaxCrossEntropy combines a softmax output layer with the cross-entropy
+// loss. Its gradient with respect to the logits is (softmax(x) - onehot)/B,
+// which is what Backprop feeds into Network.Backward.
+type SoftmaxCrossEntropy struct {
+	probs *tensor.Dense
+	grad  *tensor.Dense
+}
+
+// Loss computes the mean cross-entropy over the batch and caches the softmax
+// probabilities for Grad.
+func (l *SoftmaxCrossEntropy) Loss(logits *tensor.Dense, labels []int) float64 {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: %d logits rows vs %d labels", logits.Rows, len(labels)))
+	}
+	if l.probs == nil || !l.probs.SameShape(logits) {
+		l.probs = tensor.NewDense(logits.Rows, logits.Cols)
+		l.grad = tensor.NewDense(logits.Rows, logits.Cols)
+	}
+	var total float64
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		prow := l.probs.Row(r)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for c, v := range row {
+			e := math.Exp(v - max)
+			prow[c] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for c := range prow {
+			prow[c] *= inv
+		}
+		p := prow[labels[r]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		total -= math.Log(p)
+	}
+	return total / float64(logits.Rows)
+}
+
+// Grad returns dL/dlogits for the batch most recently passed to Loss.
+func (l *SoftmaxCrossEntropy) Grad(labels []int) *tensor.Dense {
+	if l.probs == nil {
+		panic("nn: Grad before Loss")
+	}
+	inv := 1 / float64(l.probs.Rows)
+	for r := 0; r < l.probs.Rows; r++ {
+		prow := l.probs.Row(r)
+		grow := l.grad.Row(r)
+		for c, p := range prow {
+			grow[c] = p * inv
+		}
+		grow[labels[r]] -= inv
+	}
+	return l.grad
+}
+
+// Probs exposes the cached softmax probabilities (valid after Loss).
+func (l *SoftmaxCrossEntropy) Probs() *tensor.Dense { return l.probs }

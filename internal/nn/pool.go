@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+
+	"rramft/internal/tensor"
+)
+
+// MaxPool2 is a 2×2, stride-2 max-pooling layer over channel-major feature
+// maps. Spatial dimensions must be even.
+type MaxPool2 struct {
+	name    string
+	C, H, W int
+	outH    int
+	outW    int
+
+	argmax []int // flat index into the input row for each output element
+	y      *tensor.Dense
+	dx     *tensor.Dense
+}
+
+// NewMaxPool2 builds a 2×2 max-pool over c×h×w inputs.
+func NewMaxPool2(name string, c, h, w int) *MaxPool2 {
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: %s needs even spatial dims, got %dx%d", name, h, w))
+	}
+	return &MaxPool2{name: name, C: c, H: h, W: w, outH: h / 2, outW: w / 2}
+}
+
+// Name returns the layer name.
+func (l *MaxPool2) Name() string { return l.name }
+
+// Params returns nil; pooling has no parameters.
+func (l *MaxPool2) Params() []*Param { return nil }
+
+// OutSize returns c·(h/2)·(w/2).
+func (l *MaxPool2) OutSize(in int) int {
+	if in != l.C*l.H*l.W {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", l.name, l.C*l.H*l.W, in))
+	}
+	return l.C * l.outH * l.outW
+}
+
+// Forward takes the max of each 2×2 window, remembering argmax positions.
+func (l *MaxPool2) Forward(x *tensor.Dense) *tensor.Dense {
+	inSize := l.C * l.H * l.W
+	outSize := l.C * l.outH * l.outW
+	if x.Cols != inSize {
+		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", l.name, x.Cols, inSize))
+	}
+	if l.y == nil || l.y.Rows != x.Rows {
+		l.y = tensor.NewDense(x.Rows, outSize)
+		l.argmax = make([]int, x.Rows*outSize)
+	}
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := l.y.Row(i)
+		base := i * outSize
+		for c := 0; c < l.C; c++ {
+			chIn := c * l.H * l.W
+			chOut := c * l.outH * l.outW
+			for oy := 0; oy < l.outH; oy++ {
+				for ox := 0; ox < l.outW; ox++ {
+					i00 := chIn + (2*oy)*l.W + 2*ox
+					i01 := i00 + 1
+					i10 := i00 + l.W
+					i11 := i10 + 1
+					best, bi := src[i00], i00
+					if src[i01] > best {
+						best, bi = src[i01], i01
+					}
+					if src[i10] > best {
+						best, bi = src[i10], i10
+					}
+					if src[i11] > best {
+						best, bi = src[i11], i11
+					}
+					o := chOut + oy*l.outW + ox
+					dst[o] = best
+					l.argmax[base+o] = bi
+				}
+			}
+		}
+	}
+	return l.y
+}
+
+// Backward routes each gradient to the argmax position of its window.
+func (l *MaxPool2) Backward(dout *tensor.Dense) *tensor.Dense {
+	inSize := l.C * l.H * l.W
+	outSize := l.C * l.outH * l.outW
+	if l.dx == nil || l.dx.Rows != dout.Rows {
+		l.dx = tensor.NewDense(dout.Rows, inSize)
+	}
+	l.dx.Zero()
+	for i := 0; i < dout.Rows; i++ {
+		drow := dout.Row(i)
+		xrow := l.dx.Row(i)
+		base := i * outSize
+		for o, g := range drow {
+			xrow[l.argmax[base+o]] += g
+		}
+	}
+	return l.dx
+}

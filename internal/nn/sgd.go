@@ -1,0 +1,84 @@
+package nn
+
+import "rramft/internal/tensor"
+
+// UpdatePolicy can veto or reshape per-parameter weight updates before they
+// are committed to the weight store. The paper's threshold-training method
+// (internal/train.Threshold) is implemented as an UpdatePolicy: entries of
+// delta it zeroes never reach the RRAM cells, saving their endurance.
+type UpdatePolicy interface {
+	// FilterDelta mutates delta in place. Entries set to zero are
+	// guaranteed not to cause hardware writes.
+	FilterDelta(p *Param, delta *tensor.Dense)
+}
+
+// BatchPolicy is an UpdatePolicy that must see every parameter's delta of
+// one optimizer step together — e.g. a threshold computed from the global
+// max |δw| of the iteration, as in the paper's Algorithm 1.
+type BatchPolicy interface {
+	UpdatePolicy
+	// FilterDeltas mutates all deltas of one step in place; deltas[i]
+	// belongs to params[i].
+	FilterDeltas(params []*Param, deltas []*tensor.Dense)
+}
+
+// SGD is stochastic gradient descent with optional momentum, routed through
+// WeightStore.ApplyDelta so that hardware substrates see every write.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Policy   UpdatePolicy // optional
+
+	velocity map[*Param]*tensor.Dense
+	deltaBuf map[*Param]*tensor.Dense
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD {
+	return &SGD{LR: lr, velocity: map[*Param]*tensor.Dense{}, deltaBuf: map[*Param]*tensor.Dense{}}
+}
+
+// Step applies one update to every parameter from its accumulated gradient.
+// All deltas are computed first, then passed through the policy (as a batch
+// when the policy needs the whole step), then committed to the stores.
+func (o *SGD) Step(params []*Param) {
+	deltas := make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		deltas[i] = o.computeDelta(p)
+	}
+	switch pol := o.Policy.(type) {
+	case nil:
+	case BatchPolicy:
+		pol.FilterDeltas(params, deltas)
+	default:
+		for i, p := range params {
+			pol.FilterDelta(p, deltas[i])
+		}
+	}
+	for i, p := range params {
+		p.Store.ApplyDelta(deltas[i])
+	}
+}
+
+func (o *SGD) computeDelta(p *Param) *tensor.Dense {
+	r, c := p.Store.Shape()
+	delta, ok := o.deltaBuf[p]
+	if !ok {
+		delta = tensor.NewDense(r, c)
+		o.deltaBuf[p] = delta
+	}
+	if o.Momentum > 0 {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.NewDense(r, c)
+			o.velocity[p] = v
+		}
+		v.Scale(o.Momentum)
+		v.AddScaled(-o.LR, p.Grad)
+		delta.CopyFrom(v)
+	} else {
+		delta.Zero()
+		delta.AddScaled(-o.LR, p.Grad)
+	}
+	return delta
+}

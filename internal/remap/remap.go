@@ -1,0 +1,209 @@
+// Package remap implements the paper's fault-tolerant re-mapping method
+// (§5.2): re-ordering neurons so that the zeros of pruned weight matrices
+// land on stuck-at-0 RRAM cells.
+//
+// A neuron boundary between layer n and layer n+1 carries one permutation
+// π: logical neuron j occupies physical lane π(j), which simultaneously
+// permutes the columns of layer n's array and the rows of layer n+1's
+// array — keeping the inter-array wiring straight-through and avoiding the
+// M-to-M routing module the paper rules out.
+//
+// The paper's ErrorSet cost Dist(P,F) = |{(i,j,n) : p ≠ 0 ∧ f ≠ ∞}|
+// decomposes per boundary into an assignment cost: Conflicts.At(j, p) is
+// the number of errors incurred by placing neuron j on lane p, so
+// Dist = Σ_j Conflicts.At(j, π(j)). The paper optimizes with random neuron
+// exchanges (HillClimb) inside a genetic loop (Genetic); because the
+// per-boundary subproblem is a linear assignment problem, this package also
+// provides an exact Hungarian solver as an upper-bound ablation.
+package remap
+
+import (
+	"fmt"
+
+	"rramft/internal/fault"
+	"rramft/internal/xrand"
+)
+
+// BoolMat is a simple row-major boolean matrix (used for keep masks).
+type BoolMat struct {
+	Rows, Cols int
+	V          []bool
+}
+
+// NewBoolMat allocates an all-false matrix.
+func NewBoolMat(rows, cols int) *BoolMat {
+	return &BoolMat{Rows: rows, Cols: cols, V: make([]bool, rows*cols)}
+}
+
+// At returns the value at (r, c).
+func (m *BoolMat) At(r, c int) bool { return m.V[r*m.Cols+c] }
+
+// Set assigns the value at (r, c).
+func (m *BoolMat) Set(r, c int, v bool) { m.V[r*m.Cols+c] = v }
+
+// CostModel selects the per-cell error definition.
+type CostModel int
+
+const (
+	// PaperCost is the paper's ErrorSet: a kept weight (p ≠ 0) over any
+	// hard fault counts as one error. A fault under a pruned weight is
+	// free — the SA0 is reused, and the paper's model ignores SA1 there.
+	PaperCost CostModel = iota
+	// ExtendedCost additionally penalizes SA1 faults under pruned
+	// weights, which physically read at full conductance rather than the
+	// intended zero. Used by the EXP-ABL ablation.
+	ExtendedCost
+)
+
+func penalty(model CostModel, kept bool, k fault.Kind) int {
+	if kept {
+		if k.IsFault() {
+			return 1
+		}
+		return 0
+	}
+	if model == ExtendedCost && k == fault.SA1 {
+		return 1
+	}
+	return 0
+}
+
+// Conflicts is the N×N assignment-cost matrix of one neuron boundary:
+// entry (j, p) is the error count contributed by placing logical neuron j
+// on physical lane p, summed over both adjacent layers.
+type Conflicts struct {
+	N int
+	C []int
+}
+
+// At returns the cost of placing neuron j on lane p.
+func (c *Conflicts) At(j, p int) int { return c.C[j*c.N+p] }
+
+// Cost evaluates Σ_j At(j, perm[j]).
+func (c *Conflicts) Cost(perm []int) int {
+	if len(perm) != c.N {
+		panic(fmt.Sprintf("remap: perm length %d, want %d", len(perm), c.N))
+	}
+	total := 0
+	for j, p := range perm {
+		total += c.C[j*c.N+p]
+	}
+	return total
+}
+
+// SwapDelta returns the cost change of exchanging the lanes of neurons j1
+// and j2 under perm — the O(1) evaluation that makes neuron-exchange search
+// cheap.
+func (c *Conflicts) SwapDelta(perm []int, j1, j2 int) int {
+	p1, p2 := perm[j1], perm[j2]
+	return c.At(j1, p2) + c.At(j2, p1) - c.At(j1, p1) - c.At(j2, p2)
+}
+
+// BoundaryInputs collects the matrices describing one neuron boundary with
+// N neurons.
+//
+// Left is layer n (N columns): KeepLeft[i][j] says logical weight (i, j) is
+// kept; FaultLeft.At(i, p) is the (estimated) fault kind of the physical
+// cell in logical row i, physical column p — the caller composes the row
+// permutation. Right is layer n+1 (N rows), mirrored: KeepRight[j][k] and
+// FaultRight.At(p, k). Either side may be nil (e.g. the boundary after the
+// last crossbar layer).
+type BoundaryInputs struct {
+	N          int
+	KeepLeft   *BoolMat
+	FaultLeft  *fault.Map
+	KeepRight  *BoolMat
+	FaultRight *fault.Map
+	Model      CostModel
+}
+
+// BuildConflicts assembles the assignment-cost matrix for one boundary.
+func BuildConflicts(in BoundaryInputs) *Conflicts {
+	n := in.N
+	c := &Conflicts{N: n, C: make([]int, n*n)}
+	if in.KeepLeft != nil {
+		if in.KeepLeft.Cols != n || in.FaultLeft == nil || in.FaultLeft.Cols != n || in.FaultLeft.Rows != in.KeepLeft.Rows {
+			panic("remap: left matrices inconsistent with boundary size")
+		}
+		rows := in.KeepLeft.Rows
+		for j := 0; j < n; j++ {
+			for p := 0; p < n; p++ {
+				s := 0
+				for i := 0; i < rows; i++ {
+					s += penalty(in.Model, in.KeepLeft.At(i, j), in.FaultLeft.At(i, p))
+				}
+				c.C[j*n+p] += s
+			}
+		}
+	}
+	if in.KeepRight != nil {
+		if in.KeepRight.Rows != n || in.FaultRight == nil || in.FaultRight.Rows != n || in.FaultRight.Cols != in.KeepRight.Cols {
+			panic("remap: right matrices inconsistent with boundary size")
+		}
+		cols := in.KeepRight.Cols
+		for j := 0; j < n; j++ {
+			for p := 0; p < n; p++ {
+				s := 0
+				for k := 0; k < cols; k++ {
+					s += penalty(in.Model, in.KeepRight.At(j, k), in.FaultRight.At(p, k))
+				}
+				c.C[j*n+p] += s
+			}
+		}
+	}
+	return c
+}
+
+// Optimizer searches for a low-cost permutation of one boundary.
+type Optimizer interface {
+	// Optimize returns a permutation of [0, c.N) no worse than init
+	// (the boundary's current placement; nil means identity). It must
+	// always return a valid permutation even if no improvement was
+	// found.
+	Optimize(c *Conflicts, init []int, rng *xrand.Stream) []int
+	// Name identifies the optimizer in experiment output.
+	Name() string
+}
+
+// initOrIdentity copies init (or the identity when init is nil).
+func initOrIdentity(n int, init []int) []int {
+	if init == nil {
+		return IdentityPerm(n)
+	}
+	if len(init) != n || !IsPermutation(init) {
+		panic("remap: invalid initial permutation")
+	}
+	out := make([]int, n)
+	copy(out, init)
+	return out
+}
+
+// IdentityPerm returns [0, 1, ..., n-1].
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// IsPermutation reports whether p is a valid permutation of [0, len(p)).
+func IsPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// InversePerm returns q with q[p[i]] = i.
+func InversePerm(p []int) []int {
+	q := make([]int, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}

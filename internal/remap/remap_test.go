@@ -1,0 +1,223 @@
+package remap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rramft/internal/fault"
+	"rramft/internal/xrand"
+)
+
+// buildSimpleBoundary creates a boundary of n neurons where logical neuron
+// j has a single kept weight in left row j, and physical lane p is SA0-
+// faulty in row p. Placing neuron j at lane j therefore costs 1; any
+// derangement costs 0.
+func buildSimpleBoundary(n int) *Conflicts {
+	keep := NewBoolMat(n, n)
+	fm := fault.NewMap(n, n)
+	for j := 0; j < n; j++ {
+		keep.Set(j, j, true)
+		fm.Set(j, j, fault.SA0)
+	}
+	return BuildConflicts(BoundaryInputs{N: n, KeepLeft: keep, FaultLeft: fm})
+}
+
+func TestBuildConflictsKnownCosts(t *testing.T) {
+	c := buildSimpleBoundary(4)
+	// At(j, p): neuron j kept in row j; fault at (j, j) only.
+	// Cost of placing j at lane p = 1 iff fault at (j, p) → p == j.
+	for j := 0; j < 4; j++ {
+		for p := 0; p < 4; p++ {
+			want := 0
+			if p == j {
+				want = 1
+			}
+			if got := c.At(j, p); got != want {
+				t.Errorf("At(%d,%d) = %d, want %d", j, p, got, want)
+			}
+		}
+	}
+	if got := c.Cost(IdentityPerm(4)); got != 4 {
+		t.Errorf("identity cost = %d, want 4", got)
+	}
+	if got := c.Cost([]int{1, 0, 3, 2}); got != 0 {
+		t.Errorf("derangement cost = %d, want 0", got)
+	}
+}
+
+func TestPaperCostIgnoresFaultUnderPruned(t *testing.T) {
+	keep := NewBoolMat(1, 2) // both weights pruned
+	fm := fault.NewMap(1, 2)
+	fm.Set(0, 0, fault.SA0)
+	fm.Set(0, 1, fault.SA1)
+	c := BuildConflicts(BoundaryInputs{N: 2, KeepLeft: keep, FaultLeft: fm, Model: PaperCost})
+	if got := c.Cost(IdentityPerm(2)); got != 0 {
+		t.Errorf("paper cost = %d, want 0 (pruned weights tolerate faults)", got)
+	}
+	ce := BuildConflicts(BoundaryInputs{N: 2, KeepLeft: keep, FaultLeft: fm, Model: ExtendedCost})
+	if got := ce.Cost(IdentityPerm(2)); got != 1 {
+		t.Errorf("extended cost = %d, want 1 (SA1 under pruned is penalized)", got)
+	}
+}
+
+func TestBuildConflictsBothSides(t *testing.T) {
+	n := 3
+	keepL := NewBoolMat(2, n)
+	keepL.Set(0, 0, true)
+	fmL := fault.NewMap(2, n)
+	fmL.Set(0, 1, fault.SA0) // lane 1 conflicts with neuron 0 on the left
+	keepR := NewBoolMat(n, 2)
+	keepR.Set(2, 1, true)
+	fmR := fault.NewMap(n, 2)
+	fmR.Set(0, 1, fault.SA1) // lane 0 conflicts with neuron 2 on the right
+	c := BuildConflicts(BoundaryInputs{N: n, KeepLeft: keepL, FaultLeft: fmL, KeepRight: keepR, FaultRight: fmR})
+	if c.At(0, 1) != 1 {
+		t.Errorf("left conflict missing: At(0,1)=%d", c.At(0, 1))
+	}
+	if c.At(2, 0) != 1 {
+		t.Errorf("right conflict missing: At(2,0)=%d", c.At(2, 0))
+	}
+	if c.Cost([]int{0, 1, 2}) != 0 && c.Cost([]int{0, 1, 2}) != c.At(0, 0)+c.At(1, 1)+c.At(2, 2) {
+		t.Error("cost accounting inconsistent")
+	}
+}
+
+func TestSwapDeltaMatchesFullCost(t *testing.T) {
+	rng := xrand.New(30)
+	c := randomConflicts(8, rng)
+	perm := rng.Perm(8)
+	for trial := 0; trial < 50; trial++ {
+		j1, j2 := rng.Intn(8), rng.Intn(8)
+		if j1 == j2 {
+			continue
+		}
+		before := c.Cost(perm)
+		delta := c.SwapDelta(perm, j1, j2)
+		perm[j1], perm[j2] = perm[j2], perm[j1]
+		after := c.Cost(perm)
+		if after-before != delta {
+			t.Fatalf("SwapDelta %d != actual change %d", delta, after-before)
+		}
+	}
+}
+
+func TestOptimizersProduceValidPermutations(t *testing.T) {
+	rng := xrand.New(31)
+	c := randomConflicts(12, rng)
+	for _, opt := range []Optimizer{Identity{}, HillClimb{}, Genetic{}, Hungarian{}} {
+		perm := opt.Optimize(c, nil, rng.Split(opt.Name()))
+		if !IsPermutation(perm) {
+			t.Errorf("%s returned invalid permutation %v", opt.Name(), perm)
+		}
+	}
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	c := buildSimpleBoundary(16)
+	rng := xrand.New(32)
+	perm := HillClimb{Iters: 5000}.Optimize(c, nil, rng)
+	idCost := c.Cost(IdentityPerm(16))
+	if got := c.Cost(perm); got >= idCost {
+		t.Errorf("hillclimb cost %d did not improve on identity %d", got, idCost)
+	}
+}
+
+func TestGeneticNeverWorseThanIdentity(t *testing.T) {
+	rng := xrand.New(33)
+	for trial := 0; trial < 5; trial++ {
+		c := randomConflicts(10, rng.Split("c"))
+		perm := Genetic{Pop: 12, Gens: 20}.Optimize(c, nil, rng.Split("g"))
+		if c.Cost(perm) > c.Cost(IdentityPerm(10)) {
+			t.Errorf("genetic cost %d worse than identity %d", c.Cost(perm), c.Cost(IdentityPerm(10)))
+		}
+	}
+}
+
+func TestHungarianIsOptimal(t *testing.T) {
+	// Brute-force check on small random instances.
+	rng := xrand.New(34)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(4) // up to 6: 720 permutations
+		c := randomConflicts(n, rng.Split("c"))
+		best := bruteForceBest(c)
+		perm := Hungarian{}.Optimize(c, nil, rng)
+		if got := c.Cost(perm); got != best {
+			t.Errorf("hungarian cost %d, optimum %d (n=%d)", got, best, n)
+		}
+	}
+}
+
+func TestHungarianBeatsOrMatchesHeuristics(t *testing.T) {
+	rng := xrand.New(35)
+	c := randomConflicts(20, rng.Split("c"))
+	hCost := c.Cost(Hungarian{}.Optimize(c, nil, rng.Split("h")))
+	for _, opt := range []Optimizer{HillClimb{}, Genetic{}} {
+		if oc := c.Cost(opt.Optimize(c, nil, rng.Split(opt.Name()))); oc < hCost {
+			t.Errorf("%s cost %d below exact optimum %d", opt.Name(), oc, hCost)
+		}
+	}
+}
+
+func TestPermHelpers(t *testing.T) {
+	if !IsPermutation([]int{2, 0, 1}) {
+		t.Error("valid permutation rejected")
+	}
+	if IsPermutation([]int{0, 0, 1}) || IsPermutation([]int{0, 3, 1}) {
+		t.Error("invalid permutation accepted")
+	}
+	p := []int{2, 0, 1}
+	inv := InversePerm(p)
+	for i := range p {
+		if inv[p[i]] != i {
+			t.Fatal("InversePerm wrong")
+		}
+	}
+}
+
+// Property: Hungarian result is never worse than 100 random permutations.
+func TestHungarianDominatesRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(8)
+		c := randomConflicts(n, rng.Split("c"))
+		h := c.Cost(Hungarian{}.Optimize(c, nil, rng))
+		for i := 0; i < 100; i++ {
+			if c.Cost(rng.Perm(n)) < h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomConflicts(n int, rng *xrand.Stream) *Conflicts {
+	c := &Conflicts{N: n, C: make([]int, n*n)}
+	for i := range c.C {
+		c.C[i] = rng.Intn(10)
+	}
+	return c
+}
+
+func bruteForceBest(c *Conflicts) int {
+	perm := IdentityPerm(c.N)
+	best := c.Cost(perm)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == c.N {
+			if cost := c.Cost(perm); cost < best {
+				best = cost
+			}
+			return
+		}
+		for i := k; i < c.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}

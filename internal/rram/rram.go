@@ -1,0 +1,306 @@
+// Package rram simulates an RRAM crossbar at the level of abstraction the
+// paper's detection and training mathematics operate on: multi-level cells
+// whose analog conductance is expressed in "level units" (8 programmable
+// levels by default, following Xu et al. [17]), closed-loop writes with
+// Gaussian programming variance, per-cell write-endurance budgets that turn
+// worn-out cells into permanent stuck-at faults, and parallel row/column
+// sensing used both for matrix-vector multiplication and for the
+// quiescent-voltage test method.
+//
+// Conductance convention: level 0 is the high-resistance state (zero
+// weight), level MaxLevel is the low-resistance state. A stuck-at-0 (SA0)
+// cell reads level 0 forever; a stuck-at-1 (SA1) cell reads MaxLevel.
+package rram
+
+import (
+	"fmt"
+	"math"
+
+	"rramft/internal/fault"
+	"rramft/internal/xrand"
+)
+
+// Config parameterizes a crossbar.
+type Config struct {
+	// Levels is the number of programmable conductance levels (≥2).
+	// Cells hold analog values in [0, Levels-1].
+	Levels int
+	// WriteStd is the residual programming error (in level units) left
+	// by a closed-loop write. The paper requires the test increment to
+	// exceed this variance; the default of 0.1 satisfies that for the
+	// one-level test increment.
+	WriteStd float64
+	// ReadNoiseStd adds zero-mean Gaussian noise (in level units) to
+	// every analog sensing operation (SenseColumns/SenseRows/MVM per
+	// output port), modelling sense-amplifier and line noise. Zero
+	// disables it. Quantized ReadLevel operations are unaffected (the
+	// off-chip read uses a slow, averaged ADC conversion).
+	ReadNoiseStd float64
+	// Endurance is the wear-out model for cells.
+	Endurance fault.EnduranceModel
+}
+
+// DefaultConfig returns the 8-level, 0.1-variance, unlimited-endurance
+// configuration.
+func DefaultConfig() Config {
+	return Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}
+}
+
+// Stats aggregates write-traffic counters for lifetime experiments.
+type Stats struct {
+	// Writes is the number of physical write operations that landed on
+	// healthy cells (each consumes endurance).
+	Writes int64
+	// AttemptedOnStuck counts write requests addressed to stuck cells;
+	// they change nothing but the training loop still issues them.
+	AttemptedOnStuck int64
+	// WearOuts counts cells that turned stuck-at due to endurance.
+	WearOuts int64
+}
+
+// Crossbar is a rows×cols array of simulated RRAM cells.
+type Crossbar struct {
+	RowsN, ColsN int
+	cfg          Config
+
+	level  []float64    // programmed analog level per cell
+	kind   []fault.Kind // hard-fault state per cell
+	writes []float64    // cumulative write count per cell
+	budget []float64    // endurance budget per cell
+
+	rng   *xrand.Stream
+	stats Stats
+}
+
+// New builds a crossbar with all cells healthy at level 0. Endurance
+// budgets are sampled from cfg.Endurance using rng.
+func New(rows, cols int, cfg Config, rng *xrand.Stream) *Crossbar {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rram: invalid crossbar size %dx%d", rows, cols))
+	}
+	if cfg.Levels < 2 {
+		panic(fmt.Sprintf("rram: need >=2 levels, got %d", cfg.Levels))
+	}
+	n := rows * cols
+	cb := &Crossbar{
+		RowsN: rows, ColsN: cols, cfg: cfg,
+		level:  make([]float64, n),
+		kind:   make([]fault.Kind, n),
+		writes: make([]float64, n),
+		budget: make([]float64, n),
+		rng:    rng,
+	}
+	for i := range cb.budget {
+		cb.budget[i] = cfg.Endurance.SampleBudget(rng)
+	}
+	return cb
+}
+
+// Rows returns the row count.
+func (cb *Crossbar) Rows() int { return cb.RowsN }
+
+// Cols returns the column count.
+func (cb *Crossbar) Cols() int { return cb.ColsN }
+
+// Config returns the crossbar configuration.
+func (cb *Crossbar) Config() Config { return cb.cfg }
+
+// MaxLevel returns the highest programmable level (Levels-1) as a float.
+func (cb *Crossbar) MaxLevel() float64 { return float64(cb.cfg.Levels - 1) }
+
+// Stats returns a copy of the write-traffic counters.
+func (cb *Crossbar) Stats() Stats { return cb.stats }
+
+func (cb *Crossbar) idx(r, c int) int { return r*cb.ColsN + c }
+
+// Fault returns the hard-fault state of cell (r, c).
+func (cb *Crossbar) Fault(r, c int) fault.Kind { return cb.kind[cb.idx(r, c)] }
+
+// SetFault forces the fault state of cell (r, c) — used for fabrication
+// defect injection and by tests.
+func (cb *Crossbar) SetFault(r, c int, k fault.Kind) { cb.kind[cb.idx(r, c)] = k }
+
+// InjectFaults copies every fault in m onto the crossbar. The map must
+// match the crossbar dimensions.
+func (cb *Crossbar) InjectFaults(m *fault.Map) {
+	if m.Rows != cb.RowsN || m.Cols != cb.ColsN {
+		panic(fmt.Sprintf("rram: fault map %dx%d on crossbar %dx%d", m.Rows, m.Cols, cb.RowsN, cb.ColsN))
+	}
+	for i, k := range m.Kinds {
+		if k.IsFault() {
+			cb.kind[i] = k
+		}
+	}
+}
+
+// FaultMap snapshots the ground-truth fault state. Detection experiments
+// score predictions against this.
+func (cb *Crossbar) FaultMap() *fault.Map {
+	m := fault.NewMap(cb.RowsN, cb.ColsN)
+	copy(m.Kinds, cb.kind)
+	return m
+}
+
+// FaultFraction returns the fraction of cells with hard faults.
+func (cb *Crossbar) FaultFraction() float64 {
+	n := 0
+	for _, k := range cb.kind {
+		if k.IsFault() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cb.kind))
+}
+
+// EffectiveLevel returns the conductance level the array actually presents
+// at (r, c): 0 for SA0, MaxLevel for SA1, the programmed analog level
+// otherwise.
+func (cb *Crossbar) EffectiveLevel(r, c int) float64 {
+	i := cb.idx(r, c)
+	switch cb.kind[i] {
+	case fault.SA0:
+		return 0
+	case fault.SA1:
+		return cb.MaxLevel()
+	default:
+		return cb.level[i]
+	}
+}
+
+// ProgrammedLevel returns the level most recently programmed, ignoring the
+// fault state. This is the controller's intent, not what the array presents.
+func (cb *Crossbar) ProgrammedLevel(r, c int) float64 { return cb.level[cb.idx(r, c)] }
+
+// ReadLevel performs the quantized off-chip read used at the start of the
+// test phase: the effective level digitized to the nearest integer level.
+func (cb *Crossbar) ReadLevel(r, c int) int {
+	v := math.Round(cb.EffectiveLevel(r, c))
+	if v < 0 {
+		v = 0
+	}
+	if v > cb.MaxLevel() {
+		v = cb.MaxLevel()
+	}
+	return int(v)
+}
+
+// Write performs a closed-loop programming operation driving cell (r, c)
+// toward target (clamped to the level range). Writes to stuck cells change
+// nothing. A successful write consumes one unit of the cell's endurance
+// budget; exceeding the budget makes the cell permanently stuck before the
+// write lands.
+func (cb *Crossbar) Write(r, c int, target float64) {
+	i := cb.idx(r, c)
+	if cb.kind[i].IsFault() {
+		cb.stats.AttemptedOnStuck++
+		return
+	}
+	cb.writes[i]++
+	cb.stats.Writes++
+	if cb.writes[i] > cb.budget[i] {
+		cb.kind[i] = cb.cfg.Endurance.WearKind(cb.rng)
+		cb.stats.WearOuts++
+		return
+	}
+	max := cb.MaxLevel()
+	if target < 0 {
+		target = 0
+	} else if target > max {
+		target = max
+	}
+	// The residual programming error is symmetric around the target even
+	// at the range boundaries: "level 0" is the nominal HRS conductance,
+	// and device-to-device spread around it goes both ways. Clamping the
+	// noise would bias group-test sums at the floor.
+	cb.level[i] = target + cb.rng.Gaussian(0, cb.cfg.WriteStd)
+}
+
+// WriteDelta programs cell (r, c) to its current programmed level plus
+// delta — the "Write +δw"/"Write −δw" test operation.
+func (cb *Crossbar) WriteDelta(r, c int, delta float64) {
+	cb.Write(r, c, cb.level[cb.idx(r, c)]+delta)
+}
+
+// CellWrites returns the cumulative write count of cell (r, c).
+func (cb *Crossbar) CellWrites(r, c int) float64 { return cb.writes[cb.idx(r, c)] }
+
+// SenseColumns drives the given rows with the test voltage and returns the
+// analog sum of effective levels observed at every column output port —
+// one test cycle of the quiescent-voltage method (or one step of an MVM).
+func (cb *Crossbar) SenseColumns(rows []int) []float64 {
+	out := make([]float64, cb.ColsN)
+	for _, r := range rows {
+		base := r * cb.ColsN
+		for c := 0; c < cb.ColsN; c++ {
+			out[c] += cb.effAt(base + c)
+		}
+	}
+	cb.addSenseNoise(out)
+	return out
+}
+
+// SenseRows drives the given columns (the crossbar is usable in both
+// directions) and returns the analog sum at every row output port.
+func (cb *Crossbar) SenseRows(cols []int) []float64 {
+	out := make([]float64, cb.RowsN)
+	for r := 0; r < cb.RowsN; r++ {
+		base := r * cb.ColsN
+		var sum float64
+		for _, c := range cols {
+			sum += cb.effAt(base + c)
+		}
+		out[r] = sum
+	}
+	cb.addSenseNoise(out)
+	return out
+}
+
+// addSenseNoise perturbs each analog output port reading.
+func (cb *Crossbar) addSenseNoise(out []float64) {
+	if cb.cfg.ReadNoiseStd <= 0 {
+		return
+	}
+	for i := range out {
+		out[i] += cb.rng.Gaussian(0, cb.cfg.ReadNoiseStd)
+	}
+}
+
+func (cb *Crossbar) effAt(i int) float64 {
+	switch cb.kind[i] {
+	case fault.SA0:
+		return 0
+	case fault.SA1:
+		return cb.MaxLevel()
+	default:
+		return cb.level[i]
+	}
+}
+
+// MVM computes the analog matrix-vector product out[c] = Σ_r in[r]·g[r][c]
+// over effective levels — the crossbar's native compute primitive.
+func (cb *Crossbar) MVM(in []float64) []float64 {
+	if len(in) != cb.RowsN {
+		panic(fmt.Sprintf("rram: MVM input length %d, want %d", len(in), cb.RowsN))
+	}
+	out := make([]float64, cb.ColsN)
+	for r, v := range in {
+		if v == 0 {
+			continue
+		}
+		base := r * cb.ColsN
+		for c := 0; c < cb.ColsN; c++ {
+			out[c] += v * cb.effAt(base+c)
+		}
+	}
+	cb.addSenseNoise(out)
+	return out
+}
+
+// AvgWritesPerCell returns the mean cumulative write count.
+func (cb *Crossbar) AvgWritesPerCell() float64 {
+	var sum float64
+	for _, w := range cb.writes {
+		sum += w
+	}
+	return sum / float64(len(cb.writes))
+}

@@ -1,0 +1,81 @@
+package tensor
+
+import "fmt"
+
+// Im2ColShape returns the output spatial size and the patch matrix shape for
+// a convolution over an inC×h×w input with kh×kw kernels, given stride and
+// zero padding.
+func Im2ColShape(inC, h, w, kh, kw, stride, pad int) (outH, outW, patchRows, patchCols int) {
+	outH = (h+2*pad-kh)/stride + 1
+	outW = (w+2*pad-kw)/stride + 1
+	return outH, outW, outH * outW, inC * kh * kw
+}
+
+// Im2Col expands a single image (channel-major, inC×h×w flattened into src)
+// into a patch matrix of shape (outH*outW)×(inC*kh*kw), so that convolution
+// becomes patch·Wᵀ. dst must have that shape. Padding is zero-padding.
+func Im2Col(dst *Dense, src []float64, inC, h, w, kh, kw, stride, pad int) {
+	outH, outW, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
+	if len(src) != inC*h*w {
+		panic(fmt.Sprintf("tensor: im2col src length %d want %d", len(src), inC*h*w))
+	}
+	if dst.Rows != pr || dst.Cols != pc {
+		panic(fmt.Sprintf("tensor: im2col dst %dx%d want %dx%d", dst.Rows, dst.Cols, pr, pc))
+	}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			drow := dst.Row(oy*outW + ox)
+			idx := 0
+			for c := 0; c < inC; c++ {
+				chBase := c * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							drow[idx] = 0
+						} else {
+							drow[idx] = src[chBase+iy*w+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters patch-matrix gradients back into image gradients,
+// accumulating overlapping contributions. dst must have length inC*h*w and
+// is zeroed first.
+func Col2Im(dst []float64, patches *Dense, inC, h, w, kh, kw, stride, pad int) {
+	outH, outW, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
+	if len(dst) != inC*h*w {
+		panic(fmt.Sprintf("tensor: col2im dst length %d want %d", len(dst), inC*h*w))
+	}
+	if patches.Rows != pr || patches.Cols != pc {
+		panic(fmt.Sprintf("tensor: col2im patches %dx%d want %dx%d", patches.Rows, patches.Cols, pr, pc))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			prow := patches.Row(oy*outW + ox)
+			idx := 0
+			for c := 0; c < inC; c++ {
+				chBase := c * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[chBase+iy*w+ix] += prow[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rramft/internal/xrand"
+)
+
+func TestIm2ColShape(t *testing.T) {
+	outH, outW, pr, pc := Im2ColShape(3, 8, 8, 3, 3, 1, 1)
+	if outH != 8 || outW != 8 {
+		t.Errorf("out = %dx%d, want 8x8 (same padding)", outH, outW)
+	}
+	if pr != 64 || pc != 27 {
+		t.Errorf("patch = %dx%d, want 64x27", pr, pc)
+	}
+	outH, outW, _, _ = Im2ColShape(1, 5, 5, 3, 3, 2, 0)
+	if outH != 2 || outW != 2 {
+		t.Errorf("strided out = %dx%d, want 2x2", outH, outW)
+	}
+}
+
+func TestIm2ColSingleChannelNoPad(t *testing.T) {
+	// 1x3x3 image, 2x2 kernel, stride 1, pad 0 -> 2x2 output, 4 patches.
+	src := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	_, _, pr, pc := Im2ColShape(1, 3, 3, 2, 2, 1, 0)
+	dst := NewDense(pr, pc)
+	Im2Col(dst, src, 1, 3, 3, 2, 2, 1, 0)
+	want := [][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	}
+	for r, w := range want {
+		for c, v := range w {
+			if dst.At(r, c) != v {
+				t.Fatalf("patch[%d][%d] = %v, want %v", r, c, dst.At(r, c), v)
+			}
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	// 1x2x2 image, 3x3 kernel, pad 1 -> 2x2 output; corner patch has 5 zeros.
+	src := []float64{1, 2, 3, 4}
+	_, _, pr, pc := Im2ColShape(1, 2, 2, 3, 3, 1, 1)
+	dst := NewDense(pr, pc)
+	Im2Col(dst, src, 1, 2, 2, 3, 3, 1, 1)
+	// First patch centered at (0,0): rows -1..1, cols -1..1.
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for c, v := range want {
+		if dst.At(0, c) != v {
+			t.Fatalf("padded patch[0][%d] = %v, want %v", c, dst.At(0, c), v)
+		}
+	}
+}
+
+func TestIm2ColConvolutionEquivalence(t *testing.T) {
+	// Direct convolution vs im2col + matmul on a small random case.
+	rng := xrand.New(11)
+	inC, h, w, kh, kw, stride, pad := 2, 5, 5, 3, 3, 1, 1
+	outC := 3
+	src := make([]float64, inC*h*w)
+	for i := range src {
+		src[i] = rng.Uniform(-1, 1)
+	}
+	kern := randomDense(rng, outC, inC*kh*kw)
+	outH, outW, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
+
+	patches := NewDense(pr, pc)
+	Im2Col(patches, src, inC, h, w, kh, kw, stride, pad)
+	got := NewDense(pr, outC)
+	MatMulTransB(got, patches, kern)
+
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var sum float64
+				for c := 0; c < inC; c++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							sum += src[c*h*w+iy*w+ix] * kern.At(oc, c*kh*kw+ky*kw+kx)
+						}
+					}
+				}
+				if g := got.At(oy*outW+ox, oc); absDiff(g, sum) > 1e-10 {
+					t.Fatalf("conv mismatch at oc=%d oy=%d ox=%d: %v vs %v", oc, oy, ox, g, sum)
+				}
+			}
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col: <Im2Col(x), P> == <x, Col2Im(P)>.
+func TestIm2ColAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		inC := 1 + rng.Intn(2)
+		h := 3 + rng.Intn(3)
+		w := 3 + rng.Intn(3)
+		kh, kw := 2, 2
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		_, _, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
+		if pr <= 0 {
+			return true
+		}
+		x := make([]float64, inC*h*w)
+		for i := range x {
+			x[i] = rng.Uniform(-1, 1)
+		}
+		p := randomDense(rng, pr, pc)
+
+		ix := NewDense(pr, pc)
+		Im2Col(ix, x, inC, h, w, kh, kw, stride, pad)
+		var lhs float64
+		for i := range ix.Data {
+			lhs += ix.Data[i] * p.Data[i]
+		}
+
+		cx := make([]float64, inC*h*w)
+		Col2Im(cx, p, inC, h, w, kh, kw, stride, pad)
+		var rhs float64
+		for i := range x {
+			rhs += x[i] * cx[i]
+		}
+		return absDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,326 @@
+// Package tensor implements the dense linear algebra needed by the neural
+// network and crossbar simulation layers: row-major float64 matrices,
+// matrix products, element-wise kernels and the im2col transformation used
+// by convolution layers.
+//
+// The package favours predictable, allocation-explicit APIs: operations that
+// can reuse a destination take it as the receiver or first argument, and the
+// few allocating convenience wrappers are named with a trailing "New" or
+// documented as allocating.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix of float64 values.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix. The slice is used directly,
+// not copied. It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row r, column c.
+func (m *Dense) At(r, c int) float64 {
+	return m.Data[r*m.Cols+c]
+}
+
+// Set assigns the element at row r, column c.
+func (m *Dense) Set(r, c int, v float64) {
+	m.Data[r*m.Cols+c] = v
+}
+
+// Row returns the r-th row as a subslice (no copy).
+func (m *Dense) Row(r int) []float64 {
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. It panics on shape mismatch.
+func (m *Dense) CopyFrom(src *Dense) {
+	m.mustSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Shape returns (rows, cols).
+func (m *Dense) Shape() (int, int) { return m.Rows, m.Cols }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Dense) SameShape(o *Dense) bool {
+	return m.Rows == o.Rows && m.Cols == o.Cols
+}
+
+func (m *Dense) mustSameShape(o *Dense) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// String renders a compact description, not the full contents.
+func (m *Dense) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+}
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from a
+// and b. It panics on dimension mismatch.
+func MatMul(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul inner dim %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams through b and dst rows for cache locality.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulNew allocates and returns a·b.
+func MatMulNew(a, b *Dense) *Dense {
+	dst := NewDense(a.Rows, b.Cols)
+	MatMul(dst, a, b)
+	return dst
+}
+
+// MatMulTransA computes dst = aᵀ·b where a is passed untransposed.
+// dst must be a.Cols×b.Cols.
+func MatMulTransA(dst, a, b *Dense) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTA inner dim %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range brow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a·bᵀ where b is passed untransposed.
+// dst must be a.Rows×b.Rows.
+func MatMulTransB(dst, a, b *Dense) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTB inner dim %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// Transpose returns a newly allocated mᵀ.
+func Transpose(m *Dense) *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*out.Cols+r] = v
+		}
+	}
+	return out
+}
+
+// Add computes dst = a + b element-wise. dst may alias a or b.
+func Add(dst, a, b *Dense) {
+	a.mustSameShape(b)
+	dst.mustSameShape(a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise. dst may alias a or b.
+func Sub(dst, a, b *Dense) {
+	a.mustSameShape(b)
+	dst.mustSameShape(a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Mul computes dst = a ⊙ b (Hadamard product). dst may alias a or b.
+func Mul(dst, a, b *Dense) {
+	a.mustSameShape(b)
+	dst.mustSameShape(a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s·o in place.
+func (m *Dense) AddScaled(s float64, o *Dense) {
+	m.mustSameShape(o)
+	for i := range m.Data {
+		m.Data[i] += s * o.Data[i]
+	}
+}
+
+// Apply sets m[i] = f(m[i]) for every element.
+func (m *Dense) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// MaxAbs returns the maximum absolute value in m (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Dense) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Dense, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgMaxRow returns the column index of the maximum value in row r.
+func (m *Dense) ArgMaxRow(r int) int {
+	row := m.Row(r)
+	best := 0
+	for c := 1; c < len(row); c++ {
+		if row[c] > row[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PermuteCols returns a new matrix whose column j is m's column perm[j].
+// perm must be a permutation of [0, m.Cols).
+func PermuteCols(m *Dense, perm []int) *Dense {
+	if len(perm) != m.Cols {
+		panic(fmt.Sprintf("tensor: perm length %d for %d cols", len(perm), m.Cols))
+	}
+	out := NewDense(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		src := m.Row(r)
+		dst := out.Row(r)
+		for j, p := range perm {
+			dst[j] = src[p]
+		}
+	}
+	return out
+}
+
+// PermuteRows returns a new matrix whose row i is m's row perm[i].
+func PermuteRows(m *Dense, perm []int) *Dense {
+	if len(perm) != m.Rows {
+		panic(fmt.Sprintf("tensor: perm length %d for %d rows", len(perm), m.Rows))
+	}
+	out := NewDense(m.Rows, m.Cols)
+	for i, p := range perm {
+		copy(out.Row(i), m.Row(p))
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package train implements the paper's threshold-training method
+// (Algorithm 1, §5.1): weight updates whose magnitude falls below a
+// threshold are zeroed so the corresponding RRAM cell skips the write
+// operation entirely, extending its endurance lifetime.
+//
+// The paper observes that in a typical iteration ~90% of the δw values are
+// below 0.01·δw_max, so filtering them costs little accuracy (≈1.2× more
+// iterations) while cutting write traffic to a few percent of the baseline
+// (≈15× average lifetime improvement).
+package train
+
+import (
+	"rramft/internal/nn"
+	"rramft/internal/tensor"
+	"sort"
+)
+
+// Threshold is an nn.UpdatePolicy implementing Algorithm 1. It maintains
+// the per-weight WriteAmount counters the algorithm's CalculateThreshold
+// consults and accumulates write-traffic statistics.
+type Threshold struct {
+	// Theta is the threshold fraction: updates below Theta·max|δw| are
+	// suppressed. The paper uses 0.01 of "the maximum δw in this
+	// iteration" — the max across all weights of the network, which is
+	// what FilterDeltas (the batch path used by the trainer) computes.
+	// The per-parameter FilterDelta path uses the layer-local max.
+	Theta float64
+	// Quantile, when in (0, 1), overrides Theta with a rank threshold:
+	// only the (1−Quantile) largest |δw| of the iteration are written.
+	// This pins the *operating point* (fraction of writes filtered)
+	// rather than the fraction-of-max, which is the robust way to match
+	// the paper's "~90% of δw are below the threshold" behaviour on
+	// workloads whose δw distribution is less heavy-tailed than
+	// VGG-11's (see DESIGN.md §2).
+	Quantile float64
+	// Adaptive, when positive, raises a cell's threshold as its write
+	// count grows: threshold_ij = base · (1 + Adaptive·writes_ij/mean).
+	// Zero reproduces the paper's fixed threshold.
+	Adaptive float64
+
+	writeAmount map[*nn.Param]*tensor.Dense
+	stats       Stats
+	quantBuf    []float64
+}
+
+// Stats summarizes the policy's effect on write traffic.
+type Stats struct {
+	// Proposed counts all nonzero update entries the optimizer proposed.
+	Proposed int64
+	// Written counts entries that survived the threshold (writes issued).
+	Written int64
+	// Iterations counts FilterDelta invocations (one per parameter per
+	// optimizer step).
+	Iterations int64
+}
+
+// WriteReduction returns Written/Proposed — the paper's "average number of
+// write operations reduced to ~6% of the baseline" metric.
+func (s Stats) WriteReduction() float64 {
+	if s.Proposed == 0 {
+		return 0
+	}
+	return float64(s.Written) / float64(s.Proposed)
+}
+
+// NewThreshold returns a policy with the paper's θ = 0.01.
+func NewThreshold() *Threshold {
+	return &Threshold{Theta: 0.01, writeAmount: map[*nn.Param]*tensor.Dense{}}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (t *Threshold) Stats() Stats { return t.stats }
+
+// WriteAmount returns the per-weight write counters for p (nil if p was
+// never filtered).
+func (t *Threshold) WriteAmount(p *nn.Param) *tensor.Dense { return t.writeAmount[p] }
+
+// FilterDelta implements Algorithm 1 lines 4-13 for one parameter: entries
+// of delta below the per-cell threshold are zeroed (skipping the write);
+// surviving entries increment the cell's WriteAmount counter. The base
+// threshold uses the layer-local max |δw|.
+func (t *Threshold) FilterDelta(p *nn.Param, delta *tensor.Dense) {
+	t.filterWithBase(p, delta, t.baseThreshold([]*tensor.Dense{delta}))
+}
+
+// FilterDeltas implements the paper-faithful batch path: the threshold is
+// computed from the global max |δw| (or global quantile) across every
+// parameter of this iteration.
+func (t *Threshold) FilterDeltas(params []*nn.Param, deltas []*tensor.Dense) {
+	base := t.baseThreshold(deltas)
+	for i, p := range params {
+		t.filterWithBase(p, deltas[i], base)
+	}
+}
+
+// baseThreshold computes this iteration's threshold from the given deltas.
+func (t *Threshold) baseThreshold(deltas []*tensor.Dense) float64 {
+	if t.Quantile > 0 && t.Quantile < 1 {
+		return t.quantileThreshold(deltas)
+	}
+	var max float64
+	for _, d := range deltas {
+		if m := d.MaxAbs(); m > max {
+			max = m
+		}
+	}
+	return t.Theta * max
+}
+
+// quantileThreshold estimates the Quantile-th magnitude quantile over the
+// nonzero entries of all deltas by deterministic striding (at most ~4096
+// samples), then sorting the sample.
+func (t *Threshold) quantileThreshold(deltas []*tensor.Dense) float64 {
+	total := 0
+	for _, d := range deltas {
+		total += len(d.Data)
+	}
+	stride := total/4096 + 1
+	t.quantBuf = t.quantBuf[:0]
+	k := 0
+	for _, d := range deltas {
+		for _, v := range d.Data {
+			if v == 0 {
+				continue
+			}
+			if k%stride == 0 {
+				t.quantBuf = append(t.quantBuf, abs(v))
+			}
+			k++
+		}
+	}
+	if len(t.quantBuf) == 0 {
+		return 0
+	}
+	sort.Float64s(t.quantBuf)
+	idx := int(t.Quantile * float64(len(t.quantBuf)))
+	if idx >= len(t.quantBuf) {
+		idx = len(t.quantBuf) - 1
+	}
+	return t.quantBuf[idx]
+}
+
+func (t *Threshold) filterWithBase(p *nn.Param, delta *tensor.Dense, base float64) {
+	t.stats.Iterations++
+	wa, ok := t.writeAmount[p]
+	if !ok {
+		r, c := p.Store.Shape()
+		wa = tensor.NewDense(r, c)
+		if t.writeAmount == nil {
+			t.writeAmount = map[*nn.Param]*tensor.Dense{}
+		}
+		t.writeAmount[p] = wa
+	}
+	if base == 0 {
+		// Nothing to compare against: count survivors and return.
+		for i, d := range delta.Data {
+			if d == 0 {
+				continue
+			}
+			t.stats.Proposed++
+			t.stats.Written++
+			wa.Data[i]++
+		}
+		return
+	}
+	var meanWrites float64
+	if t.Adaptive > 0 {
+		meanWrites = wa.Sum()/float64(len(wa.Data)) + 1
+	}
+	for i, d := range delta.Data {
+		if d == 0 {
+			continue
+		}
+		t.stats.Proposed++
+		thr := base
+		if t.Adaptive > 0 {
+			thr = base * (1 + t.Adaptive*wa.Data[i]/meanWrites)
+		}
+		if abs(d) < thr {
+			delta.Data[i] = 0
+			continue
+		}
+		wa.Data[i]++
+		t.stats.Written++
+	}
+}
+
+// DeltaHistogram bins |δw|/max|δw| ratios of one update matrix into the
+// given number of equal-width bins over [0, 1] — used by EXP-DW to
+// reproduce the §5.1 claim that ~90% of δw are below 0.01·δw_max.
+func DeltaHistogram(delta *tensor.Dense, bins int) []int {
+	h := make([]int, bins)
+	max := delta.MaxAbs()
+	if max == 0 {
+		return h
+	}
+	for _, d := range delta.Data {
+		ratio := abs(d) / max
+		b := int(ratio * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// FractionBelow returns the fraction of nonzero entries of delta whose
+// magnitude is below frac·max|δw|.
+func FractionBelow(delta *tensor.Dense, frac float64) float64 {
+	max := delta.MaxAbs()
+	if max == 0 {
+		return 0
+	}
+	thr := frac * max
+	below, total := 0, 0
+	for _, d := range delta.Data {
+		total++
+		if abs(d) < thr {
+			below++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(below) / float64(total)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveIndependentOfOrder(t *testing.T) {
+	x := Derive(1, "alpha").Int63()
+	y := Derive(1, "beta").Int63()
+	// Re-deriving in the opposite order must not change the streams.
+	y2 := Derive(1, "beta").Int63()
+	x2 := Derive(1, "alpha").Int63()
+	if x != x2 || y != y2 {
+		t.Error("Derive is order-sensitive")
+	}
+	if x == y {
+		t.Error("different labels produced identical streams")
+	}
+}
+
+func TestSplitConsumesParent(t *testing.T) {
+	a := New(7)
+	s1 := a.Split("x").Int63()
+	b := New(7)
+	_ = b.Split("x")
+	s2 := b.Split("x").Int63()
+	if s1 == s2 {
+		t.Error("successive Splits with the same label must differ")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := New(1)
+	for i := 0; i < 1000; i++ {
+		v := rng.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := New(2)
+	var sum, sum2 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := rng.Gaussian(5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("mean %v, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Errorf("std %v, want ~2", std)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	rng := New(3)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if rng.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("Bool(0.3) rate %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(4)
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatal("Perm returned a non-permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	rng := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
