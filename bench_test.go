@@ -10,11 +10,14 @@ package rramft
 
 import (
 	"testing"
+	"time"
 
 	"rramft/internal/detect"
 	"rramft/internal/exp"
 	"rramft/internal/fault"
+	"rramft/internal/par"
 	"rramft/internal/rram"
+	"rramft/internal/tensor"
 	"rramft/internal/xrand"
 )
 
@@ -87,6 +90,68 @@ func BenchmarkDetectionPass256(b *testing.B) {
 		b.StartTimer()
 		detect.Run(cb, detect.Config{TestSize: 16, Divisor: 16, Delta: 1})
 	}
+}
+
+// benchMatrices builds a size x size matmul operand set.
+func benchMatrices(size int) (a, c, dst *tensor.Dense) {
+	rng := xrand.New(3)
+	a, c, dst = tensor.NewDense(size, size), tensor.NewDense(size, size), tensor.NewDense(size, size)
+	for i := range a.Data {
+		a.Data[i] = rng.Uniform(-1, 1)
+		c.Data[i] = rng.Uniform(-1, 1)
+	}
+	return a, c, dst
+}
+
+// BenchmarkMatMulSerial pins the worker pool to one worker; together with
+// BenchmarkMatMulParallel it brackets the row-blocked matmul.
+func BenchmarkMatMulSerial(b *testing.B) {
+	b.Setenv(par.EnvWorkers, "1")
+	a, c, dst := benchMatrices(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, c)
+	}
+}
+
+// BenchmarkMatMulParallel runs the same 256x256 matmul with the default
+// worker count and reports the measured serial/parallel speedup as a
+// custom metric (1.0 on a single-core machine, where both paths take the
+// serial fallback).
+func BenchmarkMatMulParallel(b *testing.B) {
+	a, c, dst := benchMatrices(256)
+	// Untimed serial baseline for the speedup metric.
+	b.Setenv(par.EnvWorkers, "1")
+	const baseIters = 8
+	start := time.Now()
+	for i := 0; i < baseIters; i++ {
+		tensor.MatMul(dst, a, c)
+	}
+	serialNs := float64(time.Since(start).Nanoseconds()) / baseIters
+	b.Setenv(par.EnvWorkers, "") // back to the GOMAXPROCS default
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, c)
+	}
+	parallelNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if parallelNs > 0 {
+		b.ReportMetric(serialNs/parallelNs, "speedup")
+	}
+}
+
+// BenchmarkFig6aSerial / BenchmarkFig6aParallel regenerate the detection
+// trade-off figure with one worker and with the default pool, so the
+// experiment-level win of the parallel fan-out is visible end to end.
+func BenchmarkFig6aSerial(b *testing.B) {
+	b.Setenv(par.EnvWorkers, "1")
+	runExperiment(b, "fig6a")
+}
+
+func BenchmarkFig6aParallel(b *testing.B) {
+	b.Setenv(par.EnvWorkers, "") // default pool (GOMAXPROCS)
+	runExperiment(b, "fig6a")
 }
 
 func BenchmarkCrossbarWrite(b *testing.B) {

@@ -59,6 +59,9 @@ func TestSoftwareTrainingIdealCase(t *testing.T) {
 }
 
 func TestRCSTrainingFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	ds := tinyData()
 	m := rcsMLP(ds, 2, 0, fault.Unlimited())
 	res := Train(m, ds, quickCfg(2, 500))
@@ -71,6 +74,9 @@ func TestRCSTrainingFaultFree(t *testing.T) {
 }
 
 func TestInitialFaultsHurtAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	ds := tinyData()
 	clean := Train(rcsMLP(ds, 3, 0, fault.Unlimited()), ds, quickCfg(3, 400))
 	faulty := Train(rcsMLP(ds, 3, 0.35, fault.Unlimited()), ds, quickCfg(3, 400))
@@ -108,6 +114,9 @@ func TestThresholdTrainingReducesWrites(t *testing.T) {
 }
 
 func TestEnduranceWearCreatesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	ds := tinyData()
 	// Endurance far below the training write demand.
 	endurance := fault.EnduranceModel{Mean: 60, Std: 20, WearSA0Prob: 0.5}
@@ -121,6 +130,9 @@ func TestEnduranceWearCreatesFaults(t *testing.T) {
 }
 
 func TestMaintenancePhaseRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	ds := tinyData()
 	m := rcsMLP(ds, 6, 0.3, fault.Unlimited())
 	cfg := quickCfg(6, 300)
@@ -145,6 +157,9 @@ func TestMaintenancePhaseRuns(t *testing.T) {
 }
 
 func TestFullFlowRescuesHighInitialFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	// The paper's FC-only scenario (Fig. 7b): many initial faults, high
 	// endurance, wide conductance range. Plain on-line training is
 	// poisoned by the SA1 cells; the full fault-tolerant flow (off-line

@@ -90,6 +90,9 @@ func TestLabelNoise(t *testing.T) {
 }
 
 func TestMNISTLikeIsLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	// The MNIST stand-in must be learnable to high accuracy by the
 	// paper's MLP topology — this is the "ideal case" substrate.
 	d := Generate(MNISTLike(5))
@@ -106,6 +109,9 @@ func TestMNISTLikeIsLearnable(t *testing.T) {
 }
 
 func TestCIFARLikeIsHarder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	dm := Generate(MNISTLike(5))
 	dc := Generate(CIFARLike(5))
 	rng := xrand.New(100)
@@ -205,6 +211,9 @@ func TestNonNegativePixels(t *testing.T) {
 }
 
 func TestClassMixCapsAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run: skipped in -short so the -race pass stays fast")
+	}
 	// More class mixing must make the task harder, not easier.
 	easy := MNISTLike(22)
 	easy.ClassMix = 0.2

@@ -6,6 +6,7 @@ import (
 	"rramft/internal/detect"
 	"rramft/internal/fault"
 	"rramft/internal/metrics"
+	"rramft/internal/par"
 	"rramft/internal/rram"
 	"rramft/internal/xrand"
 )
@@ -57,11 +58,18 @@ func detectionFigure(id, title string, dist fault.Distribution, scale Scale, see
 	}
 	recallTab := &metrics.Table{Title: title + " — recall vs test time (cycles)", XLabel: "testtime"}
 	precTab := &metrics.Table{Title: title + " — precision vs test time (cycles)", XLabel: "testtime"}
-	for _, size := range sizes {
-		r, p := detectionTradeoff(size, dist, seed)
-		recallTab.Series = append(recallTab.Series, r)
-		precTab.Series = append(precTab.Series, p)
-	}
+	// Crossbar sizes sweep in parallel: each size derives its own RNG
+	// streams from (seed, dist, size), so results are independent of
+	// scheduling; collecting into indexed slots keeps series order fixed.
+	recalls := make([]*metrics.Series, len(sizes))
+	precs := make([]*metrics.Series, len(sizes))
+	par.For(len(sizes), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			recalls[i], precs[i] = detectionTradeoff(sizes[i], dist, seed)
+		}
+	})
+	recallTab.Series = append(recallTab.Series, recalls...)
+	precTab.Series = append(precTab.Series, precs...)
 	var minRecall float64 = 1
 	for _, s := range recallTab.Series {
 		for _, v := range s.Y {
@@ -113,25 +121,40 @@ func SelectedCellTesting(scale Scale, seed int64) *Report {
 	sel := &metrics.Series{Name: "selected"}
 	allTime := &metrics.Series{Name: "all-time"}
 	selTime := &metrics.Series{Name: "sel-time"}
-	// Three seeds for stability; X is the trial index.
-	for trial := 0; trial < 3; trial++ {
-		s := seed + int64(trial)
-		cbAll := detectCrossbar(size, dist, 0.10, 0.30, s)
-		resAll := detect.Run(cbAll, detect.Config{TestSize: testSize, Divisor: 16, Delta: 1})
-		confAll := detect.Score(resAll.Pred, cbAll.FaultMap())
+	// Three seeds for stability; X is the trial index. Trials fan out in
+	// parallel — each draws from streams derived from its own seed — and
+	// land in per-trial slots so series order matches the serial run.
+	const trials = 3
+	var results [trials]struct {
+		allP, selP float64
+		allT, selT int
+	}
+	par.For(trials, 1, func(lo, hi int) {
+		for trial := lo; trial < hi; trial++ {
+			s := seed + int64(trial)
+			cbAll := detectCrossbar(size, dist, 0.10, 0.30, s)
+			resAll := detect.Run(cbAll, detect.Config{TestSize: testSize, Divisor: 16, Delta: 1})
+			confAll := detect.Score(resAll.Pred, cbAll.FaultMap())
 
-		cbSel := detectCrossbar(size, dist, 0.10, 0.30, s)
-		resSel := detect.Run(cbSel, detect.Config{
-			TestSize: testSize, Divisor: 16, Delta: 1,
-			SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7,
-		})
-		confSel := detect.Score(resSel.Pred, cbSel.FaultMap())
+			cbSel := detectCrossbar(size, dist, 0.10, 0.30, s)
+			resSel := detect.Run(cbSel, detect.Config{
+				TestSize: testSize, Divisor: 16, Delta: 1,
+				SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7,
+			})
+			confSel := detect.Score(resSel.Pred, cbSel.FaultMap())
 
+			results[trial].allP = confAll.Precision()
+			results[trial].selP = confSel.Precision()
+			results[trial].allT = resAll.TestTime
+			results[trial].selT = resSel.TestTime
+		}
+	})
+	for trial, r := range results {
 		x := float64(trial + 1)
-		all.Append(x, confAll.Precision())
-		sel.Append(x, confSel.Precision())
-		allTime.Append(x, float64(resAll.TestTime))
-		selTime.Append(x, float64(resSel.TestTime))
+		all.Append(x, r.allP)
+		sel.Append(x, r.selP)
+		allTime.Append(x, float64(r.allT))
+		selTime.Append(x, float64(r.selT))
 	}
 	avg := func(s *metrics.Series) float64 {
 		var t float64

@@ -6,6 +6,7 @@ import (
 	"rramft/internal/detect"
 	"rramft/internal/fault"
 	"rramft/internal/metrics"
+	"rramft/internal/par"
 )
 
 // MarchComparison contrasts the paper's on-line quiescent-voltage method
@@ -22,20 +23,32 @@ func MarchComparison(scale Scale, seed int64) *Report {
 	mTime := &metrics.Series{Name: "march"}
 	speedup := &metrics.Series{Name: "speedup"}
 	quality := &metrics.Series{Name: "q-recall"}
-	for _, size := range sizes {
-		cfg := detect.Config{TestSize: size / 16, Divisor: 16, Delta: 1}
-		cbQ := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
-		res := detect.Run(cbQ, cfg)
-		conf := detect.Score(res.Pred, cbQ.FaultMap())
+	// Sizes fan out in parallel (per-size derived streams), appended to
+	// the series in fixed order afterwards.
+	type marchPoint struct {
+		testTime, marchCycles int
+		recall                float64
+	}
+	points := make([]marchPoint, len(sizes))
+	par.For(len(sizes), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			size := sizes[i]
+			cfg := detect.Config{TestSize: size / 16, Divisor: 16, Delta: 1}
+			cbQ := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
+			res := detect.Run(cbQ, cfg)
+			conf := detect.Score(res.Pred, cbQ.FaultMap())
 
-		cbM := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
-		march := detect.MarchTest(cbM)
-
-		x := float64(size)
-		qTime.Append(x, float64(res.TestTime))
-		mTime.Append(x, float64(march.Cycles))
-		speedup.Append(x, float64(march.Cycles)/float64(res.TestTime))
-		quality.Append(x, conf.Recall())
+			cbM := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
+			march := detect.MarchTest(cbM)
+			points[i] = marchPoint{testTime: res.TestTime, marchCycles: march.Cycles, recall: conf.Recall()}
+		}
+	})
+	for i, p := range points {
+		x := float64(sizes[i])
+		qTime.Append(x, float64(p.testTime))
+		mTime.Append(x, float64(p.marchCycles))
+		speedup.Append(x, float64(p.marchCycles)/float64(p.testTime))
+		quality.Append(x, p.recall)
 	}
 	tab := &metrics.Table{
 		Title:   "§2.2 — on-line quiescent-voltage test vs sequential March baseline (cycles)",

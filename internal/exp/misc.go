@@ -9,6 +9,7 @@ import (
 	"rramft/internal/fault"
 	"rramft/internal/metrics"
 	"rramft/internal/nn"
+	"rramft/internal/par"
 	"rramft/internal/remap"
 	"rramft/internal/tensor"
 	"rramft/internal/train"
@@ -101,12 +102,17 @@ func ThresholdLifetime(scale Scale, seed int64) *Report {
 		return core.Train(m, ds, cfg)
 	}
 
-	base := run(nil)
+	// The three sessions are independent (each builds its model from the
+	// same seed); the write-ratio comparison below happens after the join.
 	th1 := train.NewThreshold() // θ = 0.01 of the global per-iteration max
-	r1 := run(th1)
 	thq := train.NewThreshold()
 	thq.Quantile = 0.9
-	rq := run(thq)
+	var base, r1, rq *core.RunResult
+	par.Do(
+		func() { base = run(nil) },
+		func() { r1 = run(th1) },
+		func() { rq = run(thq) },
+	)
 
 	life := func(r *core.RunResult) float64 {
 		if r.Writes == 0 {
@@ -179,12 +185,18 @@ func RetrainCount(scale Scale, seed int64) *Report {
 		return sessions, curve
 	}
 
-	nOrig, cOrig := countSessions(nil)
-	nThres, cThres := countSessions(func() *train.Threshold {
-		th := train.NewThreshold()
-		th.Quantile = 0.9
-		return th
-	})
+	var nOrig, nThres int
+	var cOrig, cThres *metrics.Series
+	par.Do(
+		func() { nOrig, cOrig = countSessions(nil) },
+		func() {
+			nThres, cThres = countSessions(func() *train.Threshold {
+				th := train.NewThreshold()
+				th.Quantile = 0.9
+				return th
+			})
+		},
+	)
 	cOrig.Name = "original"
 	cThres.Name = "threshold"
 
@@ -217,12 +229,20 @@ func Ablations(scale Scale, seed int64) *Report {
 	divTab := &metrics.Table{Title: "ablation (a) — modulo divisor vs detection quality", XLabel: "divisor", Decimal: 3}
 	rec := &metrics.Series{Name: "recall"}
 	prec := &metrics.Series{Name: "precision"}
-	for _, div := range []int{8, 16, 32} {
-		cb := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
-		res := detect.Run(cb, detect.Config{TestSize: size / 2, Divisor: div, Delta: 1})
-		conf := detect.Score(res.Pred, cb.FaultMap())
-		rec.Append(float64(div), conf.Recall())
-		prec.Append(float64(div), conf.Precision())
+	// Each divisor tests a fresh (identically seeded) crossbar; the runs
+	// are independent and fan out over workers.
+	divisors := []int{8, 16, 32}
+	divConf := make([]metrics.Confusion, len(divisors))
+	par.For(len(divisors), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cb := detectCrossbar(size, fault.Uniform{}, 0.10, 0.25, seed)
+			res := detect.Run(cb, detect.Config{TestSize: size / 2, Divisor: divisors[i], Delta: 1})
+			divConf[i] = detect.Score(res.Pred, cb.FaultMap())
+		}
+	})
+	for i, div := range divisors {
+		rec.Append(float64(div), divConf[i].Recall())
+		prec.Append(float64(div), divConf[i].Precision())
 	}
 	divTab.Series = []*metrics.Series{rec, prec}
 	rep.Tables = append(rep.Tables, divTab)
@@ -264,20 +284,31 @@ func Ablations(scale Scale, seed int64) *Report {
 		return core.Train(m, ds, cfg).PeakAcc
 	}
 	pruneTab := &metrics.Table{Title: "ablation (d) — pruning policy peak accuracy (%), 30% faults", XLabel: "policy", Decimal: 1}
+	var blindAcc, awareAcc float64
+	par.Do(
+		func() { blindAcc = runPrune(false) },
+		func() { awareAcc = runPrune(true) },
+	)
 	pruneTab.Series = []*metrics.Series{
-		{Name: "fault-blind", X: []float64{1}, Y: []float64{100 * runPrune(false)}},
-		{Name: "fault-aware", X: []float64{1}, Y: []float64{100 * runPrune(true)}},
+		{Name: "fault-blind", X: []float64{1}, Y: []float64{100 * blindAcc}},
+		{Name: "fault-aware", X: []float64{1}, Y: []float64{100 * awareAcc}},
 	}
 	rep.Tables = append(rep.Tables, pruneTab)
 
-	// (e) Wear-out polarity sweep.
+	// (e) Wear-out polarity sweep — one independent training per polarity.
 	polTab := &metrics.Table{Title: "ablation (e) — wear-out polarity P(SA0) vs peak accuracy (%)", XLabel: "p(sa0)", Decimal: 1}
 	pol := &metrics.Series{Name: "peak-acc"}
-	for _, p := range []float64{0, 0.5, 1} {
-		end := scaledEndurance(ts.Iters, 1.0, p)
-		m := buildFCOnly(ds, seed, ts.Hidden, 0, 1.5, end)
-		res := core.Train(m, ds, baseTrainCfg(seed, ts))
-		pol.Append(p, 100*res.PeakAcc)
+	polarities := []float64{0, 0.5, 1}
+	peaks := make([]float64, len(polarities))
+	par.For(len(polarities), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			end := scaledEndurance(ts.Iters, 1.0, polarities[i])
+			m := buildFCOnly(ds, seed, ts.Hidden, 0, 1.5, end)
+			peaks[i] = core.Train(m, ds, baseTrainCfg(seed, ts)).PeakAcc
+		}
+	})
+	for i, p := range polarities {
+		pol.Append(p, 100*peaks[i])
 	}
 	polTab.Series = []*metrics.Series{pol}
 	rep.Tables = append(rep.Tables, polTab)

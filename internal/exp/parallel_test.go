@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"testing"
+
+	"rramft/internal/par"
+)
+
+// TestReportWorkerCountInvariant is the exp half of the equivalence suite:
+// a full experiment rendered with 1 worker and with 8 workers must produce
+// the exact same report text. Two representative ids cover the two fan-out
+// shapes — fig6a sweeps crossbar sizes via par.For, selected fans trials
+// out with per-trial seeds.
+func TestReportWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full Quick-scale experiments twice each")
+	}
+	const seed = 42
+	for _, id := range []string{"fig6a", "selected"} {
+		gen := Registry[id]
+		if gen == nil {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		t.Setenv(par.EnvWorkers, "1")
+		serial := gen(Quick, seed).Render()
+		t.Setenv(par.EnvWorkers, "8")
+		parallel := gen(Quick, seed).Render()
+		if serial != parallel {
+			t.Errorf("%s: rendered report differs between 1 and 8 workers\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}

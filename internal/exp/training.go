@@ -8,6 +8,7 @@ import (
 	"rramft/internal/detect"
 	"rramft/internal/fault"
 	"rramft/internal/metrics"
+	"rramft/internal/par"
 	"rramft/internal/remap"
 	"rramft/internal/train"
 )
@@ -88,9 +89,15 @@ func Fig1Motivation(scale Scale, seed int64) *Report {
 	ds := cifarData(ts, seed)
 	end := scaledEndurance(ts.Iters, 1.0, 0.5)
 
-	ideal := core.Train(buildSoftwareCNN(ds, seed), ds, baseTrainCfg(seed, ts))
-	f10 := core.Train(buildEntireCNN(ds, seed, 0.10, end), ds, baseTrainCfg(seed, ts))
-	f30 := core.Train(buildEntireCNN(ds, seed, 0.30, end), ds, baseTrainCfg(seed, ts))
+	// The three sessions share only the read-only dataset; each builds
+	// its own model with streams derived from seed, so they fan out over
+	// workers without changing any result.
+	var ideal, f10, f30 *core.RunResult
+	par.Do(
+		func() { ideal = core.Train(buildSoftwareCNN(ds, seed), ds, baseTrainCfg(seed, ts)) },
+		func() { f10 = core.Train(buildEntireCNN(ds, seed, 0.10, end), ds, baseTrainCfg(seed, ts)) },
+		func() { f30 = core.Train(buildEntireCNN(ds, seed, 0.30, end), ds, baseTrainCfg(seed, ts)) },
+	)
 
 	tab := &metrics.Table{
 		Title:  "Fig. 1 — training accuracy vs iterations (CIFAR-like, %)",
@@ -124,16 +131,20 @@ func Fig7aEntireCNN(scale Scale, seed int64) *Report {
 	end := scaledEndurance(ts.Iters, 1.0, 0.5)
 	const faults = 0.10
 
-	ideal := core.Train(buildSoftwareCNN(ds, seed), ds, baseTrainCfg(seed, ts))
-	orig := core.Train(buildEntireCNN(ds, seed, faults, end), ds, baseTrainCfg(seed, ts))
-
-	thCfg := baseTrainCfg(seed, ts)
-	th := train.NewThreshold()
-	th.Quantile = 0.9
-	thCfg.Threshold = th
-	thres := core.Train(buildEntireCNN(ds, seed, faults, end), ds, thCfg)
-
-	ft := core.Train(buildEntireCNN(ds, seed, faults, end), ds, ftTrainCfg(seed, ts))
+	// Four independent sessions (per-session derived streams) in parallel.
+	var ideal, orig, thres, ft *core.RunResult
+	par.Do(
+		func() { ideal = core.Train(buildSoftwareCNN(ds, seed), ds, baseTrainCfg(seed, ts)) },
+		func() { orig = core.Train(buildEntireCNN(ds, seed, faults, end), ds, baseTrainCfg(seed, ts)) },
+		func() {
+			thCfg := baseTrainCfg(seed, ts)
+			th := train.NewThreshold()
+			th.Quantile = 0.9
+			thCfg.Threshold = th
+			thres = core.Train(buildEntireCNN(ds, seed, faults, end), ds, thCfg)
+		},
+		func() { ft = core.Train(buildEntireCNN(ds, seed, faults, end), ds, ftTrainCfg(seed, ts)) },
+	)
 
 	tab := &metrics.Table{
 		Title:  "Fig. 7(a) — entire-CNN case, low endurance (accuracy %, CIFAR-like)",
@@ -169,16 +180,24 @@ func Fig7bFCOnly(scale Scale, seed int64) *Report {
 	const faults = 0.5
 	const headroom = 2.0
 
-	ideal := core.Train(buildSoftwareMLP(ds, seed, ts.Hidden), ds, baseTrainCfg(seed, ts))
-	orig := core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, baseTrainCfg(seed, ts))
-
-	thCfg := baseTrainCfg(seed, ts)
-	th := train.NewThreshold()
-	th.Quantile = 0.9
-	thCfg.Threshold = th
-	thres := core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, thCfg)
-
-	ft := core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, ftTrainCfg(seed, ts))
+	// Four independent sessions (per-session derived streams) in parallel.
+	var ideal, orig, thres, ft *core.RunResult
+	par.Do(
+		func() { ideal = core.Train(buildSoftwareMLP(ds, seed, ts.Hidden), ds, baseTrainCfg(seed, ts)) },
+		func() {
+			orig = core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, baseTrainCfg(seed, ts))
+		},
+		func() {
+			thCfg := baseTrainCfg(seed, ts)
+			th := train.NewThreshold()
+			th.Quantile = 0.9
+			thCfg.Threshold = th
+			thres = core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, thCfg)
+		},
+		func() {
+			ft = core.Train(buildFCOnly(ds, seed, ts.Hidden, faults, headroom, end), ds, ftTrainCfg(seed, ts))
+		},
+	)
 
 	tab := &metrics.Table{
 		Title:  "Fig. 7(b) — FC-only case, ~50% initial faults (accuracy %, CIFAR-like)",
@@ -206,8 +225,11 @@ func Fig7bFCOnly(scale Scale, seed int64) *Report {
 // Headline extracts the abstract's two headline comparisons from the
 // Fig. 7 experiments.
 func Headline(scale Scale, seed int64) *Report {
-	a := Fig7aEntireCNN(scale, seed)
-	b := Fig7bFCOnly(scale, seed)
+	var a, b *Report
+	par.Do(
+		func() { a = Fig7aEntireCNN(scale, seed) },
+		func() { b = Fig7bFCOnly(scale, seed) },
+	)
 
 	peak := func(r *Report, name string) float64 {
 		for _, s := range r.Tables[0].Series {

@@ -1,0 +1,186 @@
+package mapping
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/par"
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// noisyStoreConfig keeps programming noise on, so the equivalence tests
+// also prove the per-tile RNG confinement (noise draws must not depend on
+// goroutine scheduling).
+func noisyStoreConfig() StoreConfig {
+	return StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05, Endurance: fault.Unlimited()}}
+}
+
+// tiledScenario drives a TiledStore through every parallelized operation
+// and returns the observable outputs. Everything stochastic derives from
+// seed, so two runs differ only if a parallel path is schedule-dependent.
+type tiledOutputs struct {
+	read     *tensor.Dense
+	mvm      []float64
+	faults   *fault.Map
+	testTime int
+	tp, fp   int
+}
+
+func runTiledScenario(seed int64) tiledOutputs {
+	w := randomWeights(37, 29, seed)
+	s := NewTiledStore("fc", w, 16, 16, noisyStoreConfig(), xrand.New(seed+1))
+
+	// Fabrication defects split across tiles.
+	fm := fault.NewMap(37, 29)
+	fault.Uniform{}.Inject(fm, 0.1, 0.5, xrand.New(seed+2))
+	s.InjectFaults(fm)
+
+	// A training-like update touching every tile.
+	delta := tensor.NewDense(37, 29)
+	drng := xrand.New(seed + 3)
+	for i := range delta.Data {
+		if !drng.Bool(0.3) {
+			delta.Data[i] = drng.Uniform(-0.1, 0.1)
+		}
+	}
+	s.ApplyDelta(delta)
+
+	// Per-tile detection and a tiled MVM.
+	tt, conf := s.RunDetection(detect.Config{TestSize: 8, Divisor: 16, Delta: 1})
+	in := make([]float64, 37)
+	irng := xrand.New(seed + 4)
+	for i := range in {
+		in[i] = irng.Uniform(0, 1)
+	}
+	return tiledOutputs{
+		read:     s.Read().Clone(),
+		mvm:      s.MVM(in),
+		faults:   s.FaultMap(),
+		testTime: tt,
+		tp:       conf.TP,
+		fp:       conf.FP,
+	}
+}
+
+// TestTiledWorkerCountInvariant is the mapping half of the equivalence
+// suite: construction, fault injection, delta application, detection and
+// MVM over the tile grid must be byte-identical with 1 worker and with 8.
+func TestTiledWorkerCountInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 77} {
+		var serial, parallel tiledOutputs
+		t.Setenv(par.EnvWorkers, "1")
+		serial = runTiledScenario(seed)
+		t.Setenv(par.EnvWorkers, "8")
+		parallel = runTiledScenario(seed)
+
+		if !tensor.Equal(serial.read, parallel.read, 0) {
+			t.Errorf("seed %d: Read differs between 1 and 8 workers (tol 0)", seed)
+		}
+		for c := range serial.mvm {
+			if serial.mvm[c] != parallel.mvm[c] {
+				t.Errorf("seed %d: MVM col %d differs: %v vs %v", seed, c, serial.mvm[c], parallel.mvm[c])
+				break
+			}
+		}
+		for i, k := range serial.faults.Kinds {
+			if parallel.faults.Kinds[i] != k {
+				t.Errorf("seed %d: fault map cell %d differs", seed, i)
+				break
+			}
+		}
+		if serial.testTime != parallel.testTime || serial.tp != parallel.tp || serial.fp != parallel.fp {
+			t.Errorf("seed %d: detection results differ: (%d,%d,%d) vs (%d,%d,%d)",
+				seed, serial.testTime, serial.tp, serial.fp, parallel.testTime, parallel.tp, parallel.fp)
+		}
+	}
+}
+
+// TestTiledMVMMatchesMonolithic anchors the tiled MVM to a whole-array
+// reference: stitching per-tile partial sums must reproduce an MVM over
+// the stitched effective levels.
+func TestTiledMVMMatchesMonolithic(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	w := randomWeights(24, 18, 9)
+	s := NewTiledStore("fc", w, 10, 10, noisyStoreConfig(), xrand.New(10))
+	in := make([]float64, 24)
+	rng := xrand.New(11)
+	for i := range in {
+		in[i] = rng.Uniform(0, 1)
+	}
+	got := s.MVM(in)
+
+	// Reference: effective levels gathered tile by tile, summed serially
+	// in the same per-column row order.
+	want := make([]float64, 18)
+	gridR, gridC := s.GridShape()
+	for gr := 0; gr < gridR; gr++ {
+		for gc := 0; gc < gridC; gc++ {
+			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+			cb := s.Tile(gr, gc).Crossbar()
+			for r := r0; r < r1; r++ {
+				if in[r] == 0 {
+					continue
+				}
+				for c := c0; c < c1; c++ {
+					want[c] += in[r] * cb.EffectiveLevel(r-r0, c-c0)
+				}
+			}
+		}
+	}
+	for c := range want {
+		if diff := want[c] - got[c]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("col %d: tiled MVM %v, reference %v", c, got[c], want[c])
+		}
+	}
+}
+
+// TestTwoTilesDrivenConcurrently is the -race regression test required by
+// the concurrency-safety fix: two tiles of one store written, sensed and
+// detected from two goroutines at once. Each tile owns its crossbar and
+// RNG, so -race must observe no shared mutable state.
+func TestTwoTilesDrivenConcurrently(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	w := randomWeights(16, 32, 13)
+	s := NewTiledStore("fc", w, 16, 16, noisyStoreConfig(), xrand.New(14))
+	if gr, gc := s.GridShape(); gr*gc != 2 {
+		t.Fatalf("want a 2-tile store, got %dx%d", gr, gc)
+	}
+	var wg sync.WaitGroup
+	for i, tile := range s.Tiles() {
+		wg.Add(1)
+		go func(i int, cs *CrossbarStore) {
+			defer wg.Done()
+			cb := cs.Crossbar()
+			rows, cols := cs.Shape()
+			for k := 0; k < 300; k++ {
+				cb.Write(k%rows, (k*3)%cols, float64(k%8))
+			}
+			cs.RunDetection(detect.Config{TestSize: 4, Divisor: 16, Delta: 1})
+			in := make([]float64, rows)
+			for j := range in {
+				in[j] = float64(i + 1)
+			}
+			cb.MVM(in)
+		}(i, tile)
+	}
+	wg.Wait()
+}
+
+// TestTiledStoreWorkersSweep exercises construction across several worker
+// counts beyond the canonical 1-vs-8 pair.
+func TestTiledStoreWorkersSweep(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	ref := runTiledScenario(5)
+	for _, workers := range []int{2, 3, 5, 16} {
+		t.Setenv(par.EnvWorkers, strconv.Itoa(workers))
+		got := runTiledScenario(5)
+		if !tensor.Equal(ref.read, got.read, 0) {
+			t.Errorf("workers=%d: Read differs from serial", workers)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"rramft/internal/detect"
+	"rramft/internal/fault"
 	"rramft/internal/metrics"
+	"rramft/internal/par"
 	"rramft/internal/prune"
 	"rramft/internal/rram"
 	"rramft/internal/tensor"
@@ -18,6 +20,14 @@ import (
 // CrossbarStore with its own faults, endurance, pruning state and
 // detection; tiles share nothing but the logical matrix they jointly hold.
 //
+// That independence is what the parallel execution layer exploits: every
+// per-tile operation (programming, reads, delta application, detection,
+// MVM, fault injection) fans the tile grid over par.Workers() goroutines
+// with each tile confined to exactly one worker — the concurrency
+// invariant rram.Crossbar requires. Tiles draw from RNG streams split per
+// tile at construction, so goroutine scheduling never changes any tile's
+// random draws and every result is byte-identical to a serial run.
+//
 // Neuron re-ordering across tiles is intentionally not implemented on this
 // store: a lane swap that crosses a tile boundary also moves the lane's
 // peripheral circuits, which is exactly the routing overhead the paper's
@@ -29,12 +39,14 @@ type TiledStore struct {
 	gridR, gridC int
 	tiles        []*CrossbarStore // row-major grid
 	readBuf      *tensor.Dense
-	deltaBuf     *tensor.Dense
+	deltaBufs    []*tensor.Dense // per-tile scratch, lazily allocated
 }
 
 // NewTiledStore builds a tiled store over w with tiles of at most
 // tileR×tileC cells. Edge tiles are smaller when the dimensions do not
-// divide evenly.
+// divide evenly. Tiles are programmed in parallel; the per-tile RNG
+// streams are split from rng in row-major tile order before the fan-out,
+// so the store is identical whatever the worker count.
 func NewTiledStore(name string, w *tensor.Dense, tileR, tileC int, cfg StoreConfig, rng *xrand.Stream) *TiledStore {
 	if tileR <= 0 || tileC <= 0 {
 		panic(fmt.Sprintf("mapping: invalid tile size %dx%d", tileR, tileC))
@@ -46,32 +58,42 @@ func NewTiledStore(name string, w *tensor.Dense, tileR, tileC int, cfg StoreConf
 		gridC: (w.Cols + tileC - 1) / tileC,
 	}
 	s.readBuf = tensor.NewDense(w.Rows, w.Cols)
-	s.deltaBuf = tensor.NewDense(tileR, tileC)
-	for gr := 0; gr < s.gridR; gr++ {
-		for gc := 0; gc < s.gridC; gc++ {
-			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+	nTiles := s.gridR * s.gridC
+	s.tiles = make([]*CrossbarStore, nTiles)
+	s.deltaBufs = make([]*tensor.Dense, nTiles)
+
+	// Each tile scales its conductance range to the full matrix, not its
+	// own slice, so tiles agree on the weight-per-level mapping.
+	tcfg := cfg
+	if tcfg.WMax <= 0 {
+		head := tcfg.WMaxHeadroom
+		if head <= 0 {
+			head = 1.5
+		}
+		tcfg.WMax = head * w.MaxAbs()
+		if tcfg.WMax == 0 {
+			tcfg.WMax = 1
+		}
+	}
+
+	// Split the RNG streams serially (Split consumes the parent, so the
+	// order must be fixed) before programming tiles in parallel.
+	names := make([]string, nTiles)
+	streams := make([]*xrand.Stream, nTiles)
+	for t := 0; t < nTiles; t++ {
+		names[t] = fmt.Sprintf("%s[%d,%d]", name, t/s.gridC, t%s.gridC)
+		streams[t] = rng.Split(names[t])
+	}
+	par.For(nTiles, 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
 			sub := tensor.NewDense(r1-r0, c1-c0)
 			for r := r0; r < r1; r++ {
 				copy(sub.Row(r-r0), w.Row(r)[c0:c1])
 			}
-			tileName := fmt.Sprintf("%s[%d,%d]", name, gr, gc)
-			// Each tile scales its conductance range to the full
-			// matrix, not its own slice, so tiles agree on the
-			// weight-per-level mapping.
-			tcfg := cfg
-			if tcfg.WMax <= 0 {
-				head := tcfg.WMaxHeadroom
-				if head <= 0 {
-					head = 1.5
-				}
-				tcfg.WMax = head * w.MaxAbs()
-				if tcfg.WMax == 0 {
-					tcfg.WMax = 1
-				}
-			}
-			s.tiles = append(s.tiles, NewCrossbarStore(tileName, sub, tcfg, rng.Split(tileName)))
+			s.tiles[t] = NewCrossbarStore(names[t], sub, tcfg, streams[t])
 		}
-	}
+	})
 	return s
 }
 
@@ -98,31 +120,35 @@ func (s *TiledStore) Tile(gr, gc int) *CrossbarStore { return s.tiles[gr*s.gridC
 // Tiles returns all sub-stores in row-major order.
 func (s *TiledStore) Tiles() []*CrossbarStore { return s.tiles }
 
-// Read assembles the effective weights from every tile.
+// Read assembles the effective weights from every tile. Tiles read in
+// parallel into disjoint slices of the shared buffer.
 func (s *TiledStore) Read() *tensor.Dense {
-	for gr := 0; gr < s.gridR; gr++ {
-		for gc := 0; gc < s.gridC; gc++ {
-			r0, c0, r1, c1 := s.tileBounds(gr, gc)
-			sub := s.Tile(gr, gc).Read()
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
+			sub := s.tiles[t].Read()
 			for r := r0; r < r1; r++ {
 				copy(s.readBuf.Row(r)[c0:c1], sub.Row(r-r0))
 			}
 		}
-	}
+	})
 	return s.readBuf
 }
 
-// ApplyDelta routes each tile's slice of the update to that tile.
+// ApplyDelta routes each tile's slice of the update to that tile, all
+// tiles in parallel. Writes consume each tile's own RNG (programming
+// noise), so the result is schedule-independent.
 func (s *TiledStore) ApplyDelta(delta *tensor.Dense) {
 	if delta.Rows != s.rows || delta.Cols != s.cols {
 		panic(fmt.Sprintf("mapping: delta %dx%d for tiled store %dx%d", delta.Rows, delta.Cols, s.rows, s.cols))
 	}
-	for gr := 0; gr < s.gridR; gr++ {
-		for gc := 0; gc < s.gridC; gc++ {
-			r0, c0, r1, c1 := s.tileBounds(gr, gc)
-			sub := s.deltaBuf
-			if r1-r0 != sub.Rows || c1-c0 != sub.Cols {
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
+			sub := s.deltaBufs[t]
+			if sub == nil || r1-r0 != sub.Rows || c1-c0 != sub.Cols {
 				sub = tensor.NewDense(r1-r0, c1-c0)
+				s.deltaBufs[t] = sub
 			}
 			changed := false
 			for r := r0; r < r1; r++ {
@@ -138,13 +164,13 @@ func (s *TiledStore) ApplyDelta(delta *tensor.Dense) {
 				}
 			}
 			if changed {
-				s.Tile(gr, gc).ApplyDelta(sub)
+				s.tiles[t].ApplyDelta(sub)
 			}
 		}
-	}
+	})
 }
 
-// SetPruneMask splits the logical mask across tiles.
+// SetPruneMask splits the logical mask across tiles in parallel.
 func (s *TiledStore) SetPruneMask(m *prune.Mask) {
 	if m == nil {
 		for _, t := range s.tiles {
@@ -155,30 +181,107 @@ func (s *TiledStore) SetPruneMask(m *prune.Mask) {
 	if m.Rows != s.rows || m.Cols != s.cols {
 		panic(fmt.Sprintf("mapping: mask %dx%d for tiled store %dx%d", m.Rows, m.Cols, s.rows, s.cols))
 	}
-	for gr := 0; gr < s.gridR; gr++ {
-		for gc := 0; gc < s.gridC; gc++ {
-			r0, c0, r1, c1 := s.tileBounds(gr, gc)
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
 			sub := prune.NewMask(r1-r0, c1-c0)
 			for r := r0; r < r1; r++ {
 				for c := c0; c < c1; c++ {
 					sub.Set(r-r0, c-c0, m.At(r, c))
 				}
 			}
-			s.Tile(gr, gc).SetPruneMask(sub)
+			s.tiles[t].SetPruneMask(sub)
 		}
-	}
+	})
 }
 
-// RunDetection executes one detection phase on every tile. Tiles have
-// independent peripheries and test concurrently, so the reported test time
-// is the maximum over tiles; the confusion matrix aggregates all tiles.
-func (s *TiledStore) RunDetection(cfg detect.Config) (testTime int, score metrics.Confusion) {
-	for _, t := range s.tiles {
-		res := t.RunDetection(cfg)
-		if res.TestTime > testTime {
-			testTime = res.TestTime
+// InjectFaults splits a logical fault map across the tile grid and
+// injects each tile's slice in parallel — fabrication-defect injection
+// for stores too large for one array.
+func (s *TiledStore) InjectFaults(m *fault.Map) {
+	if m.Rows != s.rows || m.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: fault map %dx%d for tiled store %dx%d", m.Rows, m.Cols, s.rows, s.cols))
+	}
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
+			sub := fault.NewMap(r1-r0, c1-c0)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					sub.Set(r-r0, c-c0, m.At(r, c))
+				}
+			}
+			s.tiles[t].Crossbar().InjectFaults(sub)
 		}
-		score.Add(detect.Score(res.Pred, t.Crossbar().FaultMap()))
+	})
+}
+
+// FaultMap stitches the ground-truth fault state of every tile into one
+// logical map (the tiled counterpart of rram.Crossbar.FaultMap).
+func (s *TiledStore) FaultMap() *fault.Map {
+	out := fault.NewMap(s.rows, s.cols)
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, c0, r1, c1 := s.tileBounds(t/s.gridC, t%s.gridC)
+			sub := s.tiles[t].Crossbar().FaultMap()
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					out.Set(r, c, sub.At(r-r0, c-c0))
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MVM computes the logical matrix-vector product over effective
+// conductance levels, tile by tile: each tile senses its own column ports
+// (in parallel — tiles have independent peripheries), then the CMOS
+// periphery sums partial results across grid rows in fixed order, so the
+// output is byte-identical for every worker count. The input is in level
+// units; sign and permutation handling live in the Read path, as on a
+// single CrossbarStore.
+func (s *TiledStore) MVM(in []float64) []float64 {
+	if len(in) != s.rows {
+		panic(fmt.Sprintf("mapping: MVM input length %d, want %d", len(in), s.rows))
+	}
+	partial := make([][]float64, len(s.tiles))
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			r0, _, r1, _ := s.tileBounds(t/s.gridC, t%s.gridC)
+			partial[t] = s.tiles[t].Crossbar().MVM(in[r0:r1])
+		}
+	})
+	out := make([]float64, s.cols)
+	for t, p := range partial {
+		_, c0, _, _ := s.tileBounds(t/s.gridC, t%s.gridC)
+		for c, v := range p {
+			out[c0+c] += v
+		}
+	}
+	return out
+}
+
+// RunDetection executes one detection phase on every tile, tiles in
+// parallel. Tiles have independent peripheries and test concurrently, so
+// the reported test time is the maximum over tiles; the confusion matrix
+// aggregates all tiles (in fixed row-major order — integer counters, so
+// aggregation order is immaterial anyway).
+func (s *TiledStore) RunDetection(cfg detect.Config) (testTime int, score metrics.Confusion) {
+	times := make([]int, len(s.tiles))
+	scores := make([]metrics.Confusion, len(s.tiles))
+	par.For(len(s.tiles), 1, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			res := s.tiles[t].RunDetection(cfg)
+			times[t] = res.TestTime
+			scores[t] = detect.Score(res.Pred, s.tiles[t].Crossbar().FaultMap())
+		}
+	})
+	for t := range s.tiles {
+		if times[t] > testTime {
+			testTime = times[t]
+		}
+		score.Add(scores[t])
 	}
 	return testTime, score
 }

@@ -1,0 +1,129 @@
+// Package par provides the deterministic fork-join primitives the hot
+// paths (tensor kernels, tiled crossbar operations, experiment fan-out)
+// use to spread work across CPU cores.
+//
+// Determinism is the design constraint: callers must arrange the work so
+// that every output element is computed entirely within one block from the
+// block's indices and read-only captures alone. Under that contract the
+// result is byte-identical for every worker count — including 1 — because
+// partitioning only changes *which goroutine* runs a block, never the
+// order of floating-point accumulation inside an output element. Anything
+// stochastic must draw from a stream confined to its block (derive one per
+// repetition with xrand.Derive, or one per crossbar tile at construction),
+// so results stay independent of goroutine scheduling.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// EnvWorkers is the environment variable that overrides the worker count.
+// Setting RRAMFT_WORKERS=1 forces every parallel path down its serial
+// fallback; the equivalence tests pin it to 1 and 8 to prove the two paths
+// agree byte-for-byte.
+const EnvWorkers = "RRAMFT_WORKERS"
+
+// Workers returns the number of workers parallel operations fan out to:
+// the RRAMFT_WORKERS override when it parses as a positive integer,
+// otherwise GOMAXPROCS.
+func Workers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For partitions [0, n) into contiguous blocks of at least grain indices
+// and calls fn(start, end) once per block, spreading blocks over up to
+// Workers() goroutines. When one worker — or one block — suffices, it
+// degenerates to a single fn(0, n) call on the caller's goroutine, so the
+// serial path and the parallel path execute the same code.
+//
+// fn must honour the package determinism contract: each index's output
+// may depend only on the index and on state no other block writes. A
+// panic inside any block is re-raised on the caller's goroutine after all
+// blocks finish.
+func For(n, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	block := (n + w - 1) / w
+	if block < grain {
+		block = grain
+	}
+	if w == 1 || block >= n {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var once sync.Once
+	var panicked any
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicked = r })
+				}
+			}()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Do runs the given functions concurrently and waits for all of them —
+// the fork-join used by experiment generators to fan independent
+// repetitions (each with its own derived RNG stream) over cores. With one
+// worker it runs them in order on the caller's goroutine. Panic handling
+// matches For.
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 || Workers() == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var once sync.Once
+	var panicked any
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicked = r })
+				}
+			}()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,132 @@
+package par
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	for _, tc := range []struct {
+		env  string
+		want int
+	}{
+		{"1", 1},
+		{"8", 8},
+		{"3", 3},
+	} {
+		t.Setenv(EnvWorkers, tc.env)
+		if got := Workers(); got != tc.want {
+			t.Errorf("Workers() with %s=%q = %d, want %d", EnvWorkers, tc.env, got, tc.want)
+		}
+	}
+	// Garbage and non-positive values fall back to GOMAXPROCS.
+	for _, env := range []string{"", "0", "-2", "many"} {
+		t.Setenv(EnvWorkers, env)
+		if got := Workers(); got < 1 {
+			t.Errorf("Workers() with %s=%q = %d, want >= 1", EnvWorkers, env, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []string{"1", "4", "16"} {
+		t.Setenv(EnvWorkers, workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 100} {
+				hits := make([]int32, n)
+				For(n, grain, func(start, end int) {
+					if start < 0 || end > n || start >= end {
+						t.Errorf("block [%d,%d) outside [0,%d)", start, end, n)
+					}
+					for i := start; i < end; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%s n=%d grain=%d: index %d hit %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForBlocksRespectGrain(t *testing.T) {
+	t.Setenv(EnvWorkers, "8")
+	For(100, 40, func(start, end int) {
+		if end-start < 40 && end != 100 {
+			t.Errorf("non-final block [%d,%d) smaller than grain", start, end)
+		}
+	})
+}
+
+func TestForSerialFallbackSingleCall(t *testing.T) {
+	t.Setenv(EnvWorkers, "1")
+	calls := 0
+	For(1000, 1, func(start, end int) {
+		calls++
+		if start != 0 || end != 1000 {
+			t.Errorf("serial fallback got [%d,%d), want [0,1000)", start, end)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("serial fallback made %d calls, want 1", calls)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	t.Setenv(EnvWorkers, "4")
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	For(100, 1, func(start, end int) {
+		if start == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestDoRunsAll(t *testing.T) {
+	for _, workers := range []string{"1", "4"} {
+		t.Setenv(EnvWorkers, workers)
+		var ran [5]int32
+		fns := make([]func(), len(ran))
+		for i := range fns {
+			i := i
+			fns[i] = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+		Do(fns...)
+		for i, r := range ran {
+			if r != 1 {
+				t.Errorf("workers=%s: fn %d ran %d times", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	t.Setenv(EnvWorkers, "4")
+	defer func() {
+		if r := recover(); r != 42 {
+			t.Errorf("recovered %v, want 42", r)
+		}
+	}()
+	Do(func() {}, func() { panic(42) }, func() {})
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	b.Setenv(EnvWorkers, strconv.Itoa(4))
+	sink := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(len(sink), 256, func(start, end int) {
+			for j := start; j < end; j++ {
+				sink[j]++
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package rram
+
+import (
+	"sync"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/par"
+	"rramft/internal/xrand"
+)
+
+func testCrossbar(size int, seed int64) *Crossbar {
+	rng := xrand.New(seed)
+	cb := New(size, size, Config{Levels: 8, WriteStd: 0, Endurance: fault.Unlimited()}, rng)
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			cb.Write(r, c, float64(rng.Intn(8)))
+		}
+	}
+	return cb
+}
+
+// TestMVMWorkerCountInvariant: the column-blocked MVM must be
+// byte-identical across worker counts.
+func TestMVMWorkerCountInvariant(t *testing.T) {
+	for _, size := range []int{1, 7, 64, 130} {
+		in := make([]float64, size)
+		rng := xrand.New(11)
+		for i := range in {
+			if !rng.Bool(0.1) { // keep some exact zeros: MVM skips them
+				in[i] = rng.Uniform(-1, 1)
+			}
+		}
+		var serial, parallel []float64
+		t.Setenv(par.EnvWorkers, "1")
+		serial = testCrossbar(size, 3).MVM(in)
+		t.Setenv(par.EnvWorkers, "8")
+		parallel = testCrossbar(size, 3).MVM(in)
+		for c := range serial {
+			if serial[c] != parallel[c] {
+				t.Fatalf("size %d: MVM out[%d] = %v serial vs %v parallel", size, c, serial[c], parallel[c])
+			}
+		}
+	}
+}
+
+// TestCrossbarsConfinedPerWorker is the -race regression test for the
+// concurrency invariant: distinct crossbars driven from distinct
+// goroutines (the per-tile parallel pattern) must not share any mutable
+// state — counters, RNG streams, or cell arrays. Run via scripts/ci.sh
+// (`go test -race`); without -race it still checks determinism of the
+// per-crossbar write/sense sequences.
+func TestCrossbarsConfinedPerWorker(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	drive := func(cb *Crossbar) []float64 {
+		in := make([]float64, cb.Rows())
+		for i := range in {
+			in[i] = 1
+		}
+		for i := 0; i < 200; i++ {
+			cb.Write(i%cb.Rows(), (i*7)%cb.Cols(), float64(i%8))
+		}
+		cb.SenseColumns([]int{0, 1, 2})
+		cb.SenseRows([]int{0, 1})
+		return cb.MVM(in)
+	}
+
+	// Sequential reference: each crossbar's outcome must not depend on
+	// what any other crossbar does concurrently.
+	want := make([][]float64, 4)
+	for i := range want {
+		want[i] = drive(testCrossbar(32, int64(20+i)))
+	}
+
+	cbs := make([]*Crossbar, 4)
+	for i := range cbs {
+		cbs[i] = testCrossbar(32, int64(20+i))
+	}
+	got := make([][]float64, len(cbs))
+	var wg sync.WaitGroup
+	for i, cb := range cbs {
+		wg.Add(1)
+		go func(i int, cb *Crossbar) {
+			defer wg.Done()
+			got[i] = drive(cb)
+		}(i, cb)
+	}
+	wg.Wait()
+
+	for i := range want {
+		for c := range want[i] {
+			if want[i][c] != got[i][c] {
+				t.Fatalf("crossbar %d: concurrent drive diverged from sequential at col %d", i, c)
+			}
+		}
+		if cbs[i].Stats().Writes == 0 {
+			t.Fatalf("crossbar %d: no writes recorded", i)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"rramft/internal/fault"
+	"rramft/internal/par"
 	"rramft/internal/xrand"
 )
 
@@ -59,6 +60,17 @@ type Stats struct {
 }
 
 // Crossbar is a rows×cols array of simulated RRAM cells.
+//
+// Concurrency invariant: a Crossbar is NOT safe for concurrent use. Its
+// write path mutates the stats/writes counters and its sensing path
+// consumes the crossbar's private RNG stream, so every crossbar must be
+// confined to one worker goroutine at a time. The per-tile parallelism in
+// internal/mapping honours this by dispatching whole tiles — each tile
+// owns its crossbar and its RNG (split per tile at construction), so
+// inter-tile scheduling never changes any tile's random draws. MVM's
+// *internal* column-blocked parallelism is compatible with the invariant:
+// its fan-out only reads cell state, and the RNG-consuming sense noise is
+// applied serially on the owning goroutine after the join.
 type Crossbar struct {
 	RowsN, ColsN int
 	cfg          Config
@@ -277,23 +289,41 @@ func (cb *Crossbar) effAt(i int) float64 {
 }
 
 // MVM computes the analog matrix-vector product out[c] = Σ_r in[r]·g[r][c]
-// over effective levels — the crossbar's native compute primitive.
+// over effective levels — the crossbar's native compute primitive. The
+// column ports accumulate in parallel (they are physically independent
+// sense amplifiers); each port sums rows in ascending order whatever the
+// worker count, so the result is byte-identical to a serial evaluation.
 func (cb *Crossbar) MVM(in []float64) []float64 {
 	if len(in) != cb.RowsN {
 		panic(fmt.Sprintf("rram: MVM input length %d, want %d", len(in), cb.RowsN))
 	}
 	out := make([]float64, cb.ColsN)
-	for r, v := range in {
-		if v == 0 {
-			continue
+	par.For(cb.ColsN, mvmGrain(cb.RowsN), func(c0, c1 int) {
+		for r, v := range in {
+			if v == 0 {
+				continue
+			}
+			base := r * cb.ColsN
+			for c := c0; c < c1; c++ {
+				out[c] += v * cb.effAt(base+c)
+			}
 		}
-		base := r * cb.ColsN
-		for c := 0; c < cb.ColsN; c++ {
-			out[c] += v * cb.effAt(base+c)
-		}
-	}
+	})
 	cb.addSenseNoise(out)
 	return out
+}
+
+// mvmGrain sizes the column blocks so one block covers ~16k cells.
+func mvmGrain(rows int) int {
+	const targetCells = 16 << 10
+	if rows <= 0 {
+		return 1
+	}
+	g := targetCells / rows
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // AvgWritesPerCell returns the mean cumulative write count.

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"rramft/internal/par"
+)
 
 // Im2ColShape returns the output spatial size and the patch matrix shape for
 // a convolution over an inC×h×w input with kh×kw kernels, given stride and
@@ -15,16 +19,20 @@ func Im2ColShape(inC, h, w, kh, kw, stride, pad int) (outH, outW, patchRows, pat
 // into a patch matrix of shape (outH*outW)×(inC*kh*kw), so that convolution
 // becomes patch·Wᵀ. dst must have that shape. Padding is zero-padding.
 func Im2Col(dst *Dense, src []float64, inC, h, w, kh, kw, stride, pad int) {
-	outH, outW, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
+	_, outW, pr, pc := Im2ColShape(inC, h, w, kh, kw, stride, pad)
 	if len(src) != inC*h*w {
 		panic(fmt.Sprintf("tensor: im2col src length %d want %d", len(src), inC*h*w))
 	}
 	if dst.Rows != pr || dst.Cols != pc {
 		panic(fmt.Sprintf("tensor: im2col dst %dx%d want %dx%d", dst.Rows, dst.Cols, pr, pc))
 	}
-	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			drow := dst.Row(oy*outW + ox)
+	// Patch-row-blocked: each dst row (one output position's patch) is
+	// filled independently, so the parallel output is byte-identical to
+	// the serial one.
+	par.For(pr, blockGrain(pc), func(p0, p1 int) {
+		for p := p0; p < p1; p++ {
+			oy, ox := p/outW, p%outW
+			drow := dst.Row(p)
 			idx := 0
 			for c := 0; c < inC; c++ {
 				chBase := c * h * w
@@ -42,7 +50,7 @@ func Im2Col(dst *Dense, src []float64, inC, h, w, kh, kw, stride, pad int) {
 				}
 			}
 		}
-	}
+	})
 }
 
 // Col2Im scatters patch-matrix gradients back into image gradients,

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"strconv"
+	"testing"
+
+	"rramft/internal/par"
+	"rramft/internal/xrand"
+)
+
+// randDense fills a matrix with uniform values, a sprinkling of exact
+// zeros (the matmul kernels skip zero entries, so the skip path must be
+// partition-independent too).
+func randDense(rows, cols int, seed int64) *Dense {
+	rng := xrand.New(seed)
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		if rng.Bool(0.1) {
+			continue // exact zero
+		}
+		m.Data[i] = rng.Uniform(-1, 1)
+	}
+	return m
+}
+
+// withWorkers runs fn with RRAMFT_WORKERS pinned to n.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	t.Setenv(par.EnvWorkers, strconv.Itoa(n))
+	fn()
+}
+
+// TestMatMulWorkerCountInvariant is the headline equivalence suite: every
+// parallelized product must produce byte-identical output (tolerance 0)
+// with 1 worker and with 8.
+func TestMatMulWorkerCountInvariant(t *testing.T) {
+	cases := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"tiny", 1, 1, 1},
+		{"skinny", 3, 200, 2},
+		{"wide", 2, 5, 300},
+		{"square", 64, 64, 64},
+		{"odd", 33, 17, 51},
+		{"big", 128, 96, 80},
+	}
+	ops := []struct {
+		name string
+		run  func(tc struct {
+			name    string
+			m, k, n int
+		}, seed int64) *Dense
+	}{
+		{"MatMul", func(tc struct {
+			name    string
+			m, k, n int
+		}, seed int64) *Dense {
+			a := randDense(tc.m, tc.k, seed)
+			b := randDense(tc.k, tc.n, seed+1)
+			dst := NewDense(tc.m, tc.n)
+			dst.Fill(999) // stale contents must not leak through
+			MatMul(dst, a, b)
+			return dst
+		}},
+		{"MatMulTransA", func(tc struct {
+			name    string
+			m, k, n int
+		}, seed int64) *Dense {
+			a := randDense(tc.k, tc.m, seed)
+			b := randDense(tc.k, tc.n, seed+1)
+			dst := NewDense(tc.m, tc.n)
+			dst.Fill(999)
+			MatMulTransA(dst, a, b)
+			return dst
+		}},
+		{"MatMulTransB", func(tc struct {
+			name    string
+			m, k, n int
+		}, seed int64) *Dense {
+			a := randDense(tc.m, tc.k, seed)
+			b := randDense(tc.n, tc.k, seed+1)
+			dst := NewDense(tc.m, tc.n)
+			dst.Fill(999)
+			MatMulTransB(dst, a, b)
+			return dst
+		}},
+	}
+	for _, op := range ops {
+		for i, tc := range cases {
+			seed := int64(100 + 10*i)
+			var serial, parallel *Dense
+			withWorkers(t, 1, func() { serial = op.run(tc, seed) })
+			withWorkers(t, 8, func() { parallel = op.run(tc, seed) })
+			if !Equal(serial, parallel, 0) {
+				t.Errorf("%s/%s: parallel output differs from serial (tol 0)", op.name, tc.name)
+			}
+		}
+	}
+}
+
+func TestIm2ColWorkerCountInvariant(t *testing.T) {
+	cases := []struct {
+		name                           string
+		inC, h, w, kh, kw, stride, pad int
+	}{
+		{"3x3pad1", 3, 16, 16, 3, 3, 1, 1},
+		{"5x5stride2", 2, 13, 11, 5, 5, 2, 2},
+		{"1x1", 4, 8, 8, 1, 1, 1, 0},
+		{"singlerow", 1, 1, 32, 1, 3, 1, 1},
+	}
+	for _, tc := range cases {
+		rng := xrand.New(9)
+		src := make([]float64, tc.inC*tc.h*tc.w)
+		for i := range src {
+			src[i] = rng.Uniform(-1, 1)
+		}
+		_, _, pr, pc := Im2ColShape(tc.inC, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		serial := NewDense(pr, pc)
+		parallel := NewDense(pr, pc)
+		withWorkers(t, 1, func() {
+			Im2Col(serial, src, tc.inC, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		})
+		withWorkers(t, 8, func() {
+			Im2Col(parallel, src, tc.inC, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		})
+		if !Equal(serial, parallel, 0) {
+			t.Errorf("%s: parallel Im2Col differs from serial (tol 0)", tc.name)
+		}
+	}
+}
+
+// TestMatMulAgainstNaive anchors the blocked kernels to the textbook
+// definition, so the equivalence tests cannot pass vacuously on a shared
+// bug.
+func TestMatMulAgainstNaive(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	a := randDense(23, 31, 5)
+	b := randDense(31, 19, 6)
+	naive := NewDense(23, 19)
+	for i := 0; i < 23; i++ {
+		for j := 0; j < 19; j++ {
+			var sum float64
+			for k := 0; k < 31; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			naive.Set(i, j, sum)
+		}
+	}
+	got := MatMulNew(a, b)
+	if !Equal(naive, got, 1e-12) {
+		t.Error("parallel MatMul disagrees with naive definition")
+	}
+	gotTA := NewDense(23, 19)
+	MatMulTransA(gotTA, Transpose(a), b)
+	if !Equal(naive, gotTA, 1e-12) {
+		t.Error("parallel MatMulTransA disagrees with naive definition")
+	}
+	gotTB := NewDense(23, 19)
+	MatMulTransB(gotTB, a, Transpose(b))
+	if !Equal(naive, gotTB, 1e-12) {
+		t.Error("parallel MatMulTransB disagrees with naive definition")
+	}
+}

@@ -7,11 +7,21 @@
 // can reuse a destination take it as the receiver or first argument, and the
 // few allocating convenience wrappers are named with a trailing "New" or
 // documented as allocating.
+//
+// The matrix products and Im2Col are parallelized over disjoint blocks of
+// the destination via internal/par. Each output element is accumulated in
+// exactly the same order regardless of the worker count (the partition only
+// decides which goroutine owns a block, never the summation order inside an
+// element), so results are byte-identical to the serial path — the
+// equivalence tests in parallel_test.go pin RRAMFT_WORKERS to 1 and 8 and
+// require exact equality.
 package tensor
 
 import (
 	"fmt"
 	"math"
+
+	"rramft/internal/par"
 )
 
 // Dense is a row-major matrix of float64 values.
@@ -107,11 +117,23 @@ func MatMul(dst, a, b *Dense) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	dst.Zero()
-	// ikj loop order: streams through b and dst rows for cache locality.
-	for i := 0; i < a.Rows; i++ {
+	// Row-blocked: each worker owns a contiguous band of dst rows. Every
+	// dst row is computed with the same k-ascending accumulation whatever
+	// the partition, so the output matches the serial path exactly.
+	par.For(a.Rows, blockGrain(a.Cols*b.Cols), func(i0, i1 int) {
+		matMulRows(dst, a, b, i0, i1)
+	})
+}
+
+// matMulRows computes dst rows [i0, i1) of a·b in ikj order: streams
+// through b and dst rows for cache locality.
+func matMulRows(dst, a, b *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
 		for k := 0; k < a.Cols; k++ {
 			aik := arow[k]
 			if aik == 0 {
@@ -123,6 +145,21 @@ func MatMul(dst, a, b *Dense) {
 			}
 		}
 	}
+}
+
+// blockGrain returns how many destination rows (or columns) one parallel
+// block should cover so that a block amortizes its dispatch: unitWork is
+// the number of multiply-adds behind a single row/column of output.
+func blockGrain(unitWork int) int {
+	const targetFlops = 32 << 10
+	if unitWork <= 0 {
+		return 1
+	}
+	g := targetFlops / unitWork
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // MatMulNew allocates and returns a·b.
@@ -141,15 +178,30 @@ func MatMulTransA(dst, a, b *Dense) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulTA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	dst.Zero()
+	// Column-blocked: keeping the k-outer loop order (which skips zero
+	// aᵏᵢ entries once per k) while giving each worker a disjoint slice
+	// of every dst row. Accumulation per element stays k-ascending.
+	par.For(b.Cols, blockGrain(a.Rows*a.Cols), func(j0, j1 int) {
+		matMulTransACols(dst, a, b, j0, j1)
+	})
+}
+
+// matMulTransACols computes dst columns [j0, j1) of aᵀ·b.
+func matMulTransACols(dst, a, b *Dense, j0, j1 int) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Row(i)[j0:j1]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
-		brow := b.Row(k)
+		brow := b.Row(k)[j0:j1]
 		for i, aki := range arow {
 			if aki == 0 {
 				continue
 			}
-			drow := dst.Row(i)
+			drow := dst.Row(i)[j0:j1]
 			for j := range brow {
 				drow[j] += aki * brow[j]
 			}
@@ -166,7 +218,15 @@ func MatMulTransB(dst, a, b *Dense) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulTB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
+	// Row-blocked: every dst element is an independent dot product.
+	par.For(a.Rows, blockGrain(a.Cols*b.Rows), func(i0, i1 int) {
+		matMulTransBRows(dst, a, b, i0, i1)
+	})
+}
+
+// matMulTransBRows computes dst rows [i0, i1) of a·bᵀ.
+func matMulTransBRows(dst, a, b *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repository gate: vet + build + full tests, then a race-detector pass.
+#
+# The race pass runs in -short mode: the slow training-experiment tests
+# (exp/core at Quick scale, minutes under -race) skip themselves via
+# testing.Short(), while every equivalence and concurrency-regression test
+# in par/tensor/rram/mapping still runs, keeping the pass under a minute.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -short ./...
