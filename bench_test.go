@@ -9,12 +9,17 @@
 package rramft
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"rramft/internal/core"
+	"rramft/internal/dataset"
 	"rramft/internal/detect"
 	"rramft/internal/exp"
 	"rramft/internal/fault"
+	"rramft/internal/mapping"
 	"rramft/internal/par"
 	"rramft/internal/rram"
 	"rramft/internal/tensor"
@@ -152,6 +157,81 @@ func BenchmarkFig6aSerial(b *testing.B) {
 func BenchmarkFig6aParallel(b *testing.B) {
 	b.Setenv(par.EnvWorkers, "") // default pool (GOMAXPROCS)
 	runExperiment(b, "fig6a")
+}
+
+// --- checkpoint benchmarks ---
+
+// checkpointFixture trains the Fig. 7(a) entire-CNN model (every conv and
+// FC layer on faulty crossbars) for a few iterations with checkpointing
+// enabled, and returns the resulting session checkpoint plus a scratch
+// file path.
+func checkpointFixture(b *testing.B) (*core.Checkpoint, string) {
+	b.Helper()
+	dcfg := dataset.CIFARLike(1)
+	dcfg.TrainN = 500
+	dcfg.TestN = 150
+	ds := dataset.Generate(dcfg)
+	opts := core.DefaultBuildOptions(1)
+	opts.OnRCS = true
+	opts.ConvOnRCS = true
+	opts.Store = mapping.StoreConfig{
+		Crossbar:     rram.Config{Levels: 8, WriteStd: 0.05, Endurance: fault.Unlimited()},
+		WMaxHeadroom: 1.5,
+	}
+	opts.InitialFaultFrac = 0.10
+	opts.FCSparsity = 0.6
+	opts.ConvSparsity = 0.2
+	c := ds.Config
+	m := core.BuildCNN(c.C, c.H, c.W, c.Classes, opts)
+
+	path := filepath.Join(b.TempDir(), "ck.rramft")
+	cfg := core.DefaultTrainConfig(1, 4)
+	cfg.EvalEvery = 4
+	cfg.CheckpointEvery = 4
+	cfg.CheckpointPath = path
+	core.Train(m, ds, cfg)
+	ck, err := core.LoadCheckpoint(path)
+	if err != nil {
+		b.Fatalf("loading fixture checkpoint: %v", err)
+	}
+	return ck, path
+}
+
+// BenchmarkCheckpointSave measures one atomic full-session checkpoint
+// write for the Fig. 7(a) CNN model and reports the file size on disk.
+func BenchmarkCheckpointSave(b *testing.B) {
+	ck, path := checkpointFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.SaveCheckpoint(path, ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(info.Size()), "disk-bytes")
+}
+
+// BenchmarkCheckpointLoad measures reading and decoding the same file.
+func BenchmarkCheckpointLoad(b *testing.B) {
+	_, path := checkpointFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LoadCheckpoint(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(info.Size()), "disk-bytes")
 }
 
 func BenchmarkCrossbarWrite(b *testing.B) {

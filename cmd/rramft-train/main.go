@@ -4,6 +4,13 @@
 // Example:
 //
 //	rramft-train -net mlp -dataset mnist -faults 0.3 -ft -iters 2000
+//
+// A session can checkpoint itself periodically and be continued later —
+// with byte-identical results — by re-running with the same flags plus
+// -resume:
+//
+//	rramft-train -ft -iters 2000 -checkpoint ck.rramft
+//	rramft-train -ft -iters 2000 -resume ck.rramft
 package main
 
 import (
@@ -39,6 +46,9 @@ func main() {
 		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft)")
 		software  = flag.Bool("software", false, "ideal case: keep all weights in software")
 		verbose   = flag.Bool("v", false, "log per-eval progress to stderr")
+		ckPath    = flag.String("checkpoint", "", "write a session checkpoint to this file every -checkpoint-every iterations")
+		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = iters/4; used with -checkpoint)")
+		resume    = flag.String("resume", "", "resume a session from a checkpoint file written by -checkpoint (all other flags must match the original run)")
 	)
 	flag.Parse()
 
@@ -110,8 +120,30 @@ func main() {
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
+	if *ckPath != "" {
+		cfg.CheckpointPath = *ckPath
+		cfg.CheckpointEvery = *ckEvery
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = *iters / 4
+		}
+		if cfg.CheckpointEvery < 1 {
+			cfg.CheckpointEvery = 1
+		}
+	}
 
-	res := core.Train(m, ds, cfg)
+	var res *core.RunResult
+	if *resume != "" {
+		// The model and dataset were rebuilt from the same flags above;
+		// ResumeFile replaces all mutable state from the checkpoint and
+		// continues the session to -iters.
+		var err error
+		res, err = core.ResumeFile(m, ds, cfg, *resume)
+		if err != nil {
+			log.Fatalf("resuming from %s: %v", *resume, err)
+		}
+	} else {
+		res = core.Train(m, ds, cfg)
+	}
 
 	fmt.Println("iteration,test_accuracy")
 	for i := range res.Curve.X {

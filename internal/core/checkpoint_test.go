@@ -1,0 +1,280 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rramft/internal/dataset"
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/par"
+	"rramft/internal/remap"
+	"rramft/internal/rram"
+	"rramft/internal/train"
+)
+
+// resumeData is deliberately small so the equivalence suite stays inside
+// the -race -short CI budget while still exercising every subsystem.
+func resumeData() *dataset.Dataset {
+	cfg := dataset.MNISTLike(31)
+	cfg.TrainN = 240
+	cfg.TestN = 80
+	return dataset.Generate(cfg)
+}
+
+// resumeOpts puts every layer on crossbars with fabrication faults and a
+// tight endurance model, so the session accumulates wear-outs mid-run.
+func resumeOpts(seed int64) BuildOptions {
+	opts := DefaultBuildOptions(seed)
+	opts.OnRCS = true
+	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05,
+		Endurance: fault.EnduranceModel{Mean: 60, Std: 25, WearSA0Prob: 0.5}}}
+	opts.InitialFaultFrac = 0.1
+	opts.FCSparsity = 0.5
+	return opts
+}
+
+func resumeModel(ds *dataset.Dataset, seed int64) *Model {
+	return BuildMLP(ds.InSize(), []int{24, 16}, 10, resumeOpts(seed))
+}
+
+// resumeCfg turns on every stateful feature at once: threshold training,
+// LR decay, off-line + periodic detection, fault-aware pruning and
+// re-mapping — a checkpoint that survives this covers the full flow.
+func resumeCfg(seed int64, iters int) TrainConfig {
+	cfg := DefaultTrainConfig(seed, iters)
+	cfg.LR = 0.05
+	cfg.BatchSize = 8
+	cfg.EvalEvery = 10
+	th := train.NewThreshold()
+	th.Quantile = 0.8
+	cfg.Threshold = th
+	d := detect.DefaultConfig()
+	d.TestSize = 4
+	cfg.Detect = &d
+	cfg.DetectEvery = 40
+	cfg.OfflineDetect = true
+	cfg.FaultAwarePruning = true
+	cfg.Remap = remap.HillClimb{Iters: 300}
+	cfg.RemapPhases = 3
+	return cfg
+}
+
+// assertRunsEqual compares two RunResults with tolerance zero — the
+// tentpole's byte-identical-continuation bar.
+func assertRunsEqual(t *testing.T, straight, resumed *RunResult) {
+	t.Helper()
+	if len(straight.Curve.X) != len(resumed.Curve.X) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(straight.Curve.X), len(resumed.Curve.X))
+	}
+	for i := range straight.Curve.X {
+		if straight.Curve.X[i] != resumed.Curve.X[i] || straight.Curve.Y[i] != resumed.Curve.Y[i] {
+			t.Fatalf("curve point %d differs: (%v,%v) vs (%v,%v)", i,
+				straight.Curve.X[i], straight.Curve.Y[i], resumed.Curve.X[i], resumed.Curve.Y[i])
+		}
+	}
+	if straight.Writes != resumed.Writes {
+		t.Errorf("Writes differ: %d vs %d", straight.Writes, resumed.Writes)
+	}
+	if straight.WearOuts != resumed.WearOuts {
+		t.Errorf("WearOuts differ: %d vs %d", straight.WearOuts, resumed.WearOuts)
+	}
+	if straight.FaultFractionEnd != resumed.FaultFractionEnd {
+		t.Errorf("FaultFractionEnd differs: %v vs %v", straight.FaultFractionEnd, resumed.FaultFractionEnd)
+	}
+	if straight.RemapWrites != resumed.RemapWrites {
+		t.Errorf("RemapWrites differ: %d vs %d", straight.RemapWrites, resumed.RemapWrites)
+	}
+	if straight.DetectionPhases != resumed.DetectionPhases {
+		t.Errorf("DetectionPhases differ: %d vs %d", straight.DetectionPhases, resumed.DetectionPhases)
+	}
+	if straight.DetectionScore != resumed.DetectionScore {
+		t.Errorf("DetectionScore differs: %+v vs %+v", straight.DetectionScore, resumed.DetectionScore)
+	}
+}
+
+// TestResumeEquivalence is the tentpole invariant: N iterations straight
+// must equal a run checkpointed mid-flight and resumed onto a freshly
+// built model — byte-identical curves and hardware statistics — for both
+// the serial path and the 8-worker pool. CheckpointEvery is chosen so the
+// checkpoint fires exactly once (iteration 70 of 120), leaving a true
+// mid-run file behind after the writer finishes. Runs in -short on
+// purpose: the CI race pass must cover it.
+func TestResumeEquivalence(t *testing.T) {
+	const seed, iters, ckAt = 17, 120, 70
+	for _, workers := range []string{"1", "8"} {
+		t.Run("workers="+workers, func(t *testing.T) {
+			t.Setenv(par.EnvWorkers, workers)
+			ds := resumeData()
+
+			straight := Train(resumeModel(ds, seed), ds, resumeCfg(seed, iters))
+
+			path := filepath.Join(t.TempDir(), "ck.rramft")
+			wcfg := resumeCfg(seed, iters)
+			wcfg.CheckpointEvery = ckAt
+			wcfg.CheckpointPath = path
+			writer := Train(resumeModel(ds, seed), ds, wcfg)
+			// Writing checkpoints must not perturb the session.
+			assertRunsEqual(t, straight, writer)
+
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("loading checkpoint: %v", err)
+			}
+			if ck.NextIter != ckAt+1 {
+				t.Fatalf("checkpoint resumes at %d, want %d", ck.NextIter, ckAt+1)
+			}
+
+			// A fresh model, as a new process would build it; Resume
+			// replaces all mutable state from the file.
+			resumed, err := Resume(resumeModel(ds, seed), ds, resumeCfg(seed, iters), ck)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			assertRunsEqual(t, straight, resumed)
+		})
+	}
+}
+
+// TestSoftwareModelCheckpoint covers the no-crossbar path: all parameters
+// ride in SoftParams and resume equivalence still holds.
+func TestSoftwareModelCheckpoint(t *testing.T) {
+	ds := resumeData()
+	const seed, iters, ckAt = 23, 60, 40
+	build := func() *Model { return BuildMLP(ds.InSize(), []int{16}, 10, DefaultBuildOptions(seed)) }
+	cfg := func() TrainConfig {
+		c := DefaultTrainConfig(seed, iters)
+		c.LR = 0.05
+		c.BatchSize = 8
+		c.EvalEvery = 10
+		return c
+	}
+
+	straight := Train(build(), ds, cfg())
+
+	path := filepath.Join(t.TempDir(), "soft.rramft")
+	wcfg := cfg()
+	wcfg.CheckpointEvery = ckAt
+	wcfg.CheckpointPath = path
+	Train(build(), ds, wcfg)
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(build(), ds, cfg(), ck)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	assertRunsEqual(t, straight, resumed)
+}
+
+// TestDefaultTrainConfigDecayEveryClamped is the regression test for the
+// iters<3 footgun: DecayEvery must never be 0, which would silently
+// disable the configured LR decay.
+func TestDefaultTrainConfigDecayEveryClamped(t *testing.T) {
+	for _, iters := range []int{1, 2, 3, 4, 100} {
+		cfg := DefaultTrainConfig(1, iters)
+		if cfg.DecayEvery < 1 {
+			t.Errorf("DefaultTrainConfig(1, %d).DecayEvery = %d, want >= 1", iters, cfg.DecayEvery)
+		}
+	}
+	if cfg := DefaultTrainConfig(1, 300); cfg.DecayEvery != 100 {
+		t.Errorf("DecayEvery = %d, want 100", cfg.DecayEvery)
+	}
+}
+
+// writeTestCheckpoint trains a short session that checkpoints once and
+// returns the file path.
+func writeTestCheckpoint(t *testing.T, seed int64, iters int) string {
+	t.Helper()
+	ds := resumeData()
+	cfg := resumeCfg(seed, iters)
+	cfg.CheckpointEvery = iters/2 + 1 // fires exactly once
+	path := filepath.Join(t.TempDir(), "ck.rramft")
+	cfg.CheckpointPath = path
+	Train(resumeModel(ds, seed), ds, cfg)
+	return path
+}
+
+// TestCheckpointFileValidation covers the loud-failure contract: wrong
+// files, corrupted headers and stale format versions are reported clearly
+// instead of surfacing as gob decode noise.
+func TestCheckpointFileValidation(t *testing.T) {
+	path := writeTestCheckpoint(t, 3, 20)
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+
+	corrupt := func(name string, mutate func(b []byte) []byte) string {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, mutate(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Not a checkpoint at all.
+	bad := corrupt("magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Stale format version (bytes 8–11 are the little-endian version).
+	stale := corrupt("stale", func(b []byte) []byte { b[8] = 0xFE; return b })
+	if _, err := LoadCheckpoint(stale); err == nil {
+		t.Error("stale format version accepted")
+	}
+
+	// Truncated payload.
+	trunc := corrupt("trunc", func(b []byte) []byte { return b[:len(b)/2] })
+	if _, err := LoadCheckpoint(trunc); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+
+	// Empty file.
+	empty := corrupt("empty", func(b []byte) []byte { return nil })
+	if _, err := LoadCheckpoint(empty); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestResumeValidatesSession checks config/model mismatches fail loudly
+// instead of silently continuing a different session.
+func TestResumeValidatesSession(t *testing.T) {
+	const seed, iters = 5, 20
+	path := writeTestCheckpoint(t, seed, iters)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := resumeData()
+
+	if _, err := Resume(resumeModel(ds, 6), ds, resumeCfg(6, iters), ck); err == nil {
+		t.Error("Resume accepted a different seed")
+	}
+	if _, err := Resume(resumeModel(ds, seed), ds, resumeCfg(seed, 40), ck); err == nil {
+		t.Error("Resume accepted a different training horizon")
+	}
+	noTh := resumeCfg(seed, iters)
+	noTh.Threshold = nil
+	if _, err := Resume(resumeModel(ds, seed), ds, noTh, ck); err == nil {
+		t.Error("Resume accepted a config without the checkpointed threshold policy")
+	}
+	// Architecture mismatch: fewer layers, so fewer crossbar stores.
+	other := BuildMLP(ds.InSize(), []int{8}, 10, resumeOpts(seed))
+	if _, err := Resume(other, ds, resumeCfg(seed, iters), ck); err == nil {
+		t.Error("Resume accepted a differently-shaped model")
+	}
+}

@@ -315,9 +315,9 @@ func TestReinitialize(t *testing.T) {
 	ds := tinyData()
 	m := rcsMLP(ds, 21, 0, fault.Unlimited())
 	Train(m, ds, quickCfg(21, 100))
-	before := m.RCSBindings()[0].Store.Snapshot()
+	before := m.RCSBindings()[0].Store.WeightSnapshot()
 	Reinitialize(m, xrand.New(99))
-	after := m.RCSBindings()[0].Store.Snapshot()
+	after := m.RCSBindings()[0].Store.WeightSnapshot()
 	if tensor.Equal(before, after, 1e-9) {
 		t.Error("Reinitialize did not change the weights")
 	}

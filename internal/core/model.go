@@ -52,12 +52,15 @@ func (m *Model) RCSBindings() []*StoreBinding {
 	return out
 }
 
-// HardwareStats sums write-traffic counters over all crossbars.
-func (m *Model) HardwareStats() (stats struct {
+// HWStats aggregates write-traffic counters over all crossbars of a model.
+type HWStats struct {
 	Writes, AttemptedOnStuck, WearOuts int64
 	Cells                              int
 	Faulty                             int
-}) {
+}
+
+// HardwareStats sums write-traffic counters over all crossbars.
+func (m *Model) HardwareStats() (stats HWStats) {
 	for _, b := range m.Bindings {
 		if b.Store == nil {
 			continue
@@ -93,7 +96,7 @@ func Reinitialize(m *Model, rng *xrand.Stream) {
 		rows, cols := b.Store.Shape()
 		init := tensor.NewDense(rows, cols)
 		nn.HeInit(init, rows, rng.Split(b.Store.Name()))
-		delta := b.Store.Snapshot()
+		delta := b.Store.WeightSnapshot()
 		delta.Scale(-1)
 		delta.AddScaled(1, init)
 		b.Store.ApplyDelta(delta)

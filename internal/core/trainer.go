@@ -75,15 +75,30 @@ type TrainConfig struct {
 	// EvalEvery controls accuracy-curve sampling (0 = Iters/25).
 	EvalEvery int
 
+	// CheckpointEvery, when positive together with a non-empty
+	// CheckpointPath, writes a full-session checkpoint to CheckpointPath
+	// every CheckpointEvery iterations (atomically: temp file + rename,
+	// so a crash mid-write never corrupts the previous checkpoint). The
+	// session can then be continued by Resume with byte-identical results
+	// — see DESIGN.md §7.
+	CheckpointEvery int
+	CheckpointPath  string
+
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
 
 // DefaultTrainConfig returns the baseline on-line training configuration.
 func DefaultTrainConfig(seed int64, iters int) TrainConfig {
+	decayEvery := iters / 3
+	if decayEvery < 1 {
+		// iters < 3 would yield DecayEvery = 0, silently disabling the
+		// configured LRDecay; clamp so decay stays armed.
+		decayEvery = 1
+	}
 	return TrainConfig{
 		Seed: seed, Iters: iters, BatchSize: 16,
-		LR: 0.05, Momentum: 0.9, LRDecay: 0.5, DecayEvery: iters / 3,
+		LR: 0.05, Momentum: 0.9, LRDecay: 0.5, DecayEvery: decayEvery,
 	}
 }
 
@@ -109,15 +124,63 @@ type RunResult struct {
 	RemapWrites int64
 }
 
-// Train runs the complete Fig. 2 flow on model m over ds and returns the
-// accuracy curve and hardware statistics.
-func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
+// session is the live state of one training run: everything Train mutates
+// iteration over iteration, gathered so it can be captured into a
+// Checkpoint and rebuilt by Resume. A fresh session starts at iteration 1;
+// a restored one continues from wherever the checkpoint left off.
+type session struct {
+	m       *Model
+	ds      *dataset.Dataset
+	cfg     TrainConfig
+	batcher *dataset.Batcher
+	loss    *nn.SoftmaxCrossEntropy
+	opt     *nn.SGD
+
+	res        *RunResult
+	remapRng   *xrand.Stream
+	phase      int
+	nextIter   int
+	startStats HWStats
+	resumed    bool
+}
+
+// newSession wires up a fresh run (iteration 1, empty curve).
+func newSession(m *Model, ds *dataset.Dataset, cfg TrainConfig) *session {
 	if cfg.Iters <= 0 {
 		panic("core: Iters must be positive")
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
 	}
+	rng := xrand.Derive(cfg.Seed, "core/train")
+	s := &session{
+		m: m, ds: ds, cfg: cfg,
+		batcher:    dataset.NewBatcher(ds.TrainX, ds.TrainY, cfg.BatchSize, rng.Split("batch")),
+		loss:       &nn.SoftmaxCrossEntropy{},
+		opt:        nn.NewSGD(cfg.LR),
+		res:        &RunResult{Curve: &metrics.Series{Name: "accuracy"}},
+		remapRng:   rng.Split("remap"),
+		nextIter:   1,
+		startStats: m.HardwareStats(),
+	}
+	s.opt.Momentum = cfg.Momentum
+	if cfg.Threshold != nil {
+		s.opt.Policy = cfg.Threshold
+	}
+	return s
+}
+
+// Train runs the complete Fig. 2 flow on model m over ds and returns the
+// accuracy curve and hardware statistics.
+func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
+	return newSession(m, ds, cfg).run()
+}
+
+// run executes the training loop from the session's current position to
+// cfg.Iters, checkpointing along the way when configured.
+func (s *session) run() *RunResult {
+	cfg := s.cfg
+	m, ds, res := s.m, s.ds, s.res
 	evalEvery := cfg.EvalEvery
 	if evalEvery <= 0 {
 		evalEvery = cfg.Iters / 25
@@ -125,38 +188,25 @@ func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
 			evalEvery = 1
 		}
 	}
-	rng := xrand.Derive(cfg.Seed, "core/train")
-	batcher := dataset.NewBatcher(ds.TrainX, ds.TrainY, cfg.BatchSize, rng.Split("batch"))
-	loss := &nn.SoftmaxCrossEntropy{}
-	opt := nn.NewSGD(cfg.LR)
-	opt.Momentum = cfg.Momentum
-	if cfg.Threshold != nil {
-		opt.Policy = cfg.Threshold
-	}
 
-	startStats := m.HardwareStats()
-	res := &RunResult{Curve: &metrics.Series{Name: "accuracy"}}
-	remapRng := rng.Split("remap")
-	phase := 0
-
-	if cfg.OfflineDetect {
-		phase++
+	if !s.resumed && cfg.OfflineDetect {
+		s.phase++
 		offCfg := cfg
 		offCfg.OracleDetection = true // off-line test achieves 100%/100%
-		maintain(m, offCfg, res, phase, remapRng)
+		maintain(m, offCfg, res, s.phase, s.remapRng)
 	}
 
-	for it := 1; it <= cfg.Iters; it++ {
-		bx, by := batcher.Next()
-		loss.Loss(m.Net.Forward(bx), by)
+	for it := s.nextIter; it <= cfg.Iters; it++ {
+		bx, by := s.batcher.Next()
+		s.loss.Loss(m.Net.Forward(bx), by)
 		m.Net.ZeroGrads()
-		m.Net.Backward(loss.Grad(by))
-		opt.Step(m.Net.Params())
+		m.Net.Backward(s.loss.Grad(by))
+		s.opt.Step(m.Net.Params())
 
 		if cfg.Schedule != nil {
-			opt.LR = cfg.Schedule.LR(it)
+			s.opt.LR = cfg.Schedule.LR(it)
 		} else if cfg.LRDecay > 0 && cfg.LRDecay != 1 && cfg.DecayEvery > 0 && it%cfg.DecayEvery == 0 {
-			opt.LR *= cfg.LRDecay
+			s.opt.LR *= cfg.LRDecay
 		}
 
 		// Evaluate before any maintenance at the same iteration: the
@@ -174,14 +224,22 @@ func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
 
 		if cfg.Detect != nil && cfg.DetectEvery > 0 && it%cfg.DetectEvery == 0 {
 			res.DetectionPhases++
-			phase++
-			maintain(m, cfg, res, phase, remapRng)
+			s.phase++
+			maintain(m, cfg, res, s.phase, s.remapRng)
+		}
+
+		// Checkpoint after everything the iteration does (update, eval,
+		// maintenance), so a resume re-enters the loop exactly at it+1.
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointPath != "" && it%cfg.CheckpointEvery == 0 {
+			if err := SaveCheckpoint(cfg.CheckpointPath, s.checkpoint(it+1)); err != nil {
+				panic(fmt.Sprintf("core: writing checkpoint: %v", err))
+			}
 		}
 	}
 
 	endStats := m.HardwareStats()
-	res.Writes = endStats.Writes - startStats.Writes
-	res.WearOuts = endStats.WearOuts - startStats.WearOuts
+	res.Writes = endStats.Writes - s.startStats.Writes
+	res.WearOuts = endStats.WearOuts - s.startStats.WearOuts
 	res.FaultFractionEnd = m.FaultFraction()
 	res.PeakAcc = res.Curve.MaxY()
 	res.FinalAcc = res.Curve.FinalY()
@@ -291,7 +349,7 @@ func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.S
 // pruningMask scores the binding's weights and cuts the ramped sparsity
 // target. Detected-faulty cells score zero unless FaultBlindPruning.
 func pruningMask(b *StoreBinding, cfg TrainConfig, ramp float64) *prune.Mask {
-	score := b.Store.Snapshot()
+	score := b.Store.WeightSnapshot()
 	if cfg.FaultAwarePruning {
 		rows, cols := b.Store.Shape()
 		for i := 0; i < rows; i++ {

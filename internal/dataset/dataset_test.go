@@ -102,7 +102,7 @@ func TestMNISTLikeIsLearnable(t *testing.T) {
 		nn.NewReLU("r1"),
 		nn.NewDenseHe("fc2", 64, 10, rng),
 	)
-	trainQuick(t, net, d, 600, 0.1)
+	trainQuick(t, net, d, 900, 0.1)
 	if acc := net.Accuracy(d.TestX, d.TestY); acc < 0.9 {
 		t.Errorf("MNIST-like test accuracy %.3f < 0.90", acc)
 	}

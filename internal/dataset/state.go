@@ -1,0 +1,51 @@
+package dataset
+
+import "fmt"
+
+// BatcherStateVersion is the current Batcher snapshot format version.
+const BatcherStateVersion = 1
+
+// BatcherState is a serializable snapshot of a Batcher: the current epoch's
+// shuffled order, the cursor into it, and the shuffling RNG. A restored
+// batcher yields exactly the mini-batch sequence the snapshotted one would
+// have yielded, including all future epoch reshuffles.
+type BatcherState struct {
+	Version int
+	Order   []int
+	Pos     int
+	RNG     []byte
+}
+
+// Snapshot captures the batcher's state. It is a pure read.
+func (b *Batcher) Snapshot() *BatcherState {
+	rng, err := b.rng.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: marshaling batcher rng: %v", err))
+	}
+	return &BatcherState{
+		Version: BatcherStateVersion,
+		Order:   append([]int(nil), b.order...),
+		Pos:     b.pos,
+		RNG:     rng,
+	}
+}
+
+// Restore overwrites the batcher's iteration state from a snapshot taken
+// over a same-size training set.
+func (b *Batcher) Restore(st *BatcherState) error {
+	if st.Version != BatcherStateVersion {
+		return fmt.Errorf("dataset: batcher snapshot version %d, this build reads version %d", st.Version, BatcherStateVersion)
+	}
+	if len(st.Order) != len(b.order) {
+		return fmt.Errorf("dataset: batcher snapshot orders %d samples, dataset has %d", len(st.Order), len(b.order))
+	}
+	if st.Pos < 0 || st.Pos > len(st.Order) {
+		return fmt.Errorf("dataset: batcher snapshot cursor %d out of range", st.Pos)
+	}
+	if err := b.rng.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("dataset: restoring batcher rng: %w", err)
+	}
+	copy(b.order, st.Order)
+	b.pos = st.Pos
+	return nil
+}

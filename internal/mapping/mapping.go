@@ -152,10 +152,11 @@ func (s *CrossbarStore) Read() *tensor.Dense {
 	return s.readBuf
 }
 
-// Snapshot returns a freshly allocated copy of the effective logical
+// WeightSnapshot returns a freshly allocated copy of the effective logical
 // weights (pruned entries read zero) — what a read-out of the trained array
-// would store off-chip.
-func (s *CrossbarStore) Snapshot() *tensor.Dense {
+// would store off-chip. (The full-state snapshot used by checkpointing is
+// Snapshot, in state.go.)
+func (s *CrossbarStore) WeightSnapshot() *tensor.Dense {
 	return s.Read().Clone()
 }
 

@@ -1,0 +1,290 @@
+package mapping
+
+import (
+	"testing"
+
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/prune"
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// wornStore builds a CrossbarStore that has seen the full lifecycle:
+// fabrication faults, thousands of training writes with wear-outs, a
+// detection pass (fault estimate), a pruning mask and a re-mapping
+// permutation — so the snapshot must capture every register the store has.
+func wornStore(t testing.TB, seed int64) *CrossbarStore {
+	t.Helper()
+	rng := xrand.New(seed)
+	w := tensor.NewDense(24, 20)
+	for i := range w.Data {
+		w.Data[i] = rng.Uniform(-1, 1)
+	}
+	cfg := StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05,
+		Endurance: fault.EnduranceModel{Mean: 120, Std: 40, WearSA0Prob: 0.5}}}
+	s := NewCrossbarStore("fc1", w, cfg, rng.Split("store"))
+
+	fm := fault.NewMap(24, 20)
+	fault.Uniform{}.Inject(fm, 0.12, 0.5, rng.Split("faults"))
+	s.Crossbar().InjectFaults(fm)
+
+	delta := tensor.NewDense(24, 20)
+	drng := rng.Split("train")
+	for k := 0; k < 60; k++ {
+		for i := range delta.Data {
+			delta.Data[i] = drng.Gaussian(0, 0.02)
+		}
+		s.ApplyDelta(delta)
+	}
+	if s.Crossbar().Stats().WearOuts == 0 {
+		t.Fatal("fixture produced no wear-outs")
+	}
+
+	s.RunDetection(detect.Config{TestSize: 4, Divisor: 16, Delta: 1})
+	mask := prune.MagnitudeMask(s.WeightSnapshot(), 0.4)
+	s.SetPruneMask(mask)
+	perm := rng.Split("perm").Perm(20)
+	s.SetColPerm(perm)
+	return s
+}
+
+// freshStoreLike builds a store with the same name/shape/config as
+// wornStore produces, but a different history — the restore target.
+func freshStoreLike(seed int64) *CrossbarStore {
+	rng := xrand.New(seed)
+	w := tensor.NewDense(24, 20)
+	for i := range w.Data {
+		w.Data[i] = rng.Uniform(-1, 1)
+	}
+	cfg := StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05,
+		Endurance: fault.EnduranceModel{Mean: 120, Std: 40, WearSA0Prob: 0.5}}}
+	return NewCrossbarStore("fc1", w, cfg, rng.Split("store"))
+}
+
+func sameDense(t *testing.T, what string, a, b *tensor.Dense) {
+	t.Helper()
+	if !tensor.Equal(a, b, 0) {
+		t.Fatalf("%s differs after restore", what)
+	}
+}
+
+// TestStoreSnapshotRoundTrip restores a worn store's snapshot onto a fresh
+// store and checks state equality plus byte-identical continuation through
+// training writes, detection and re-mapping.
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	a := wornStore(t, 1)
+	st := a.Snapshot()
+
+	b := freshStoreLike(77) // different seed: different weights, RNG, wear
+	if err := b.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	sameDense(t, "effective weights", a.Read().Clone(), b.Read().Clone())
+	if a.WMax() != b.WMax() {
+		t.Fatal("WMax differs after restore")
+	}
+	ap, bp := a.ColPerm(), b.ColPerm()
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatal("column permutation differs after restore")
+		}
+	}
+	ea, eb := a.EstimatedFaults(), b.EstimatedFaults()
+	for i := range ea.Kinds {
+		if ea.Kinds[i] != eb.Kinds[i] {
+			t.Fatal("fault estimate differs after restore")
+		}
+	}
+
+	// Continuation: identical delta streams must produce identical
+	// programming noise, wear-outs, detections and re-mapping writes.
+	da, db := xrand.New(5), xrand.New(5)
+	delta := tensor.NewDense(24, 20)
+	apply := func(s *CrossbarStore, rng *xrand.Stream) {
+		for i := range delta.Data {
+			delta.Data[i] = rng.Gaussian(0, 0.02)
+		}
+		s.ApplyDelta(delta)
+	}
+	for k := 0; k < 40; k++ {
+		apply(a, da)
+		apply(b, db)
+	}
+	sameDense(t, "weights after continued training", a.Read().Clone(), b.Read().Clone())
+	if a.Crossbar().Stats() != b.Crossbar().Stats() {
+		t.Fatalf("crossbar stats diverged: %+v vs %+v", a.Crossbar().Stats(), b.Crossbar().Stats())
+	}
+
+	ra := a.RunDetection(detect.Config{TestSize: 4, Divisor: 16, Delta: 1})
+	rb := b.RunDetection(detect.Config{TestSize: 4, Divisor: 16, Delta: 1})
+	for i := range ra.Pred.Kinds {
+		if ra.Pred.Kinds[i] != rb.Pred.Kinds[i] {
+			t.Fatal("post-restore detection diverged")
+		}
+	}
+
+	perm := xrand.New(6).Perm(20)
+	if wa, wb := a.SetColPerm(perm), b.SetColPerm(perm); wa != wb {
+		t.Fatalf("re-mapping writes diverged: %d vs %d", wa, wb)
+	}
+	sameDense(t, "weights after re-mapping", a.Read().Clone(), b.Read().Clone())
+}
+
+// TestStoreSnapshotGobSafe ensures the state survives a gob round-trip
+// (the checkpoint container format) unchanged.
+func TestStoreSnapshotNilFields(t *testing.T) {
+	// A store with no mask and no detection yet: Keep and Est stay nil
+	// through the round-trip, and restoring onto a store that HAS a mask
+	// clears it.
+	rng := xrand.New(3)
+	w := tensor.NewDense(8, 6)
+	for i := range w.Data {
+		w.Data[i] = rng.Uniform(-1, 1)
+	}
+	cfg := DefaultStoreConfig()
+	virgin := NewCrossbarStore("x", w, cfg, rng.Split("a"))
+	st := virgin.Snapshot()
+	if st.Keep != nil || st.Est != nil {
+		t.Fatal("virgin store snapshot carries mask/estimate")
+	}
+
+	dirty := NewCrossbarStore("x", w, cfg, rng.Split("b"))
+	dirty.SetPruneMask(prune.MagnitudeMask(w, 0.5))
+	dirty.SetEstimatedFaults(fault.NewMap(8, 6))
+	if err := dirty.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !dirty.Kept(0, 0) || dirty.EstimatedFaults() != nil {
+		t.Fatal("Restore did not clear mask/estimate back to nil state")
+	}
+	sameDense(t, "weights", virgin.Read().Clone(), dirty.Read().Clone())
+}
+
+// TestStoreRestoreValidation checks the loud-failure paths.
+func TestStoreRestoreValidation(t *testing.T) {
+	a := wornStore(t, 2)
+
+	st := a.Snapshot()
+	st.Version = StoreStateVersion + 1
+	if err := freshStoreLike(1).Restore(st); err == nil {
+		t.Error("Restore accepted a future-version snapshot")
+	}
+
+	st = a.Snapshot()
+	st.Name = "other"
+	if err := freshStoreLike(1).Restore(st); err == nil {
+		t.Error("Restore accepted a snapshot of a differently-named store")
+	}
+
+	st = a.Snapshot()
+	st.ColPerm = st.ColPerm[:5]
+	if err := freshStoreLike(1).Restore(st); err == nil {
+		t.Error("Restore accepted truncated permutation registers")
+	}
+}
+
+// TestTiledStoreSnapshotRoundTrip checks the tiled store's per-tile
+// snapshot composes: restore onto a fresh grid, then training and
+// detection continue identically tile by tile.
+func TestTiledStoreSnapshotRoundTrip(t *testing.T) {
+	build := func(seed int64) *TiledStore {
+		rng := xrand.New(seed)
+		w := tensor.NewDense(30, 22)
+		for i := range w.Data {
+			w.Data[i] = rng.Uniform(-1, 1)
+		}
+		cfg := StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05,
+			Endurance: fault.EnduranceModel{Mean: 150, Std: 50, WearSA0Prob: 0.5}}}
+		return NewTiledStore("big", w, 16, 16, cfg, rng.Split("tiles"))
+	}
+	a := build(1)
+	fm := fault.NewMap(30, 22)
+	fault.Uniform{}.Inject(fm, 0.1, 0.5, xrand.New(2))
+	a.InjectFaults(fm)
+	delta := tensor.NewDense(30, 22)
+	drng := xrand.New(3)
+	for k := 0; k < 50; k++ {
+		for i := range delta.Data {
+			delta.Data[i] = drng.Gaussian(0, 0.02)
+		}
+		a.ApplyDelta(delta)
+	}
+
+	b := build(99)
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	sameDense(t, "tiled weights", a.Read().Clone(), b.Read().Clone())
+
+	da, db := xrand.New(4), xrand.New(4)
+	for k := 0; k < 30; k++ {
+		for i := range delta.Data {
+			delta.Data[i] = da.Gaussian(0, 0.02)
+		}
+		a.ApplyDelta(delta)
+		for i := range delta.Data {
+			delta.Data[i] = db.Gaussian(0, 0.02)
+		}
+		b.ApplyDelta(delta)
+	}
+	sameDense(t, "tiled weights after continuation", a.Read().Clone(), b.Read().Clone())
+	fa, fb := a.FaultMap(), b.FaultMap()
+	for i := range fa.Kinds {
+		if fa.Kinds[i] != fb.Kinds[i] {
+			t.Fatal("tiled fault state diverged after restore")
+		}
+	}
+
+	st := a.Snapshot()
+	st.Tiles = st.Tiles[:1]
+	if err := b.Restore(st); err == nil {
+		t.Error("tiled Restore accepted a snapshot with missing tiles")
+	}
+}
+
+// TestDiffPairSnapshotRoundTrip checks the differential-pair encoding's
+// snapshot: both arrays plus the controller's target weights.
+func TestDiffPairSnapshotRoundTrip(t *testing.T) {
+	build := func(seed int64) *DiffPairStore {
+		rng := xrand.New(seed)
+		w := tensor.NewDense(12, 10)
+		for i := range w.Data {
+			w.Data[i] = rng.Uniform(-1, 1)
+		}
+		return NewDiffPairStore("dp", w, DefaultStoreConfig(), rng.Split("s"))
+	}
+	a := build(1)
+	delta := tensor.NewDense(12, 10)
+	drng := xrand.New(2)
+	for k := 0; k < 20; k++ {
+		for i := range delta.Data {
+			delta.Data[i] = drng.Gaussian(0, 0.05)
+		}
+		a.ApplyDelta(delta)
+	}
+
+	b := build(50)
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	sameDense(t, "diffpair weights", a.Read().Clone(), b.Read().Clone())
+
+	da, db := xrand.New(3), xrand.New(3)
+	for k := 0; k < 20; k++ {
+		for i := range delta.Data {
+			delta.Data[i] = da.Gaussian(0, 0.05)
+		}
+		a.ApplyDelta(delta)
+		for i := range delta.Data {
+			delta.Data[i] = db.Gaussian(0, 0.05)
+		}
+		b.ApplyDelta(delta)
+	}
+	sameDense(t, "diffpair weights after continuation", a.Read().Clone(), b.Read().Clone())
+	if a.Positive().Stats() != b.Positive().Stats() || a.Negative().Stats() != b.Negative().Stats() {
+		t.Fatal("diffpair crossbar stats diverged after restore")
+	}
+}

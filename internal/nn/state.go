@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+
+	"rramft/internal/tensor"
+)
+
+// SGDStateVersion is the current SGD snapshot format version.
+const SGDStateVersion = 1
+
+// VelocityEntry is one parameter's momentum buffer, keyed by its position
+// in the params slice passed to Snapshot/Restore. Sparse entries (rather
+// than a nil-padded slice) keep the state gob-encodable: gob rejects nil
+// elements inside a slice of pointers.
+type VelocityEntry struct {
+	Index int
+	V     *tensor.Dense
+}
+
+// SGDState is a serializable snapshot of an SGD optimizer: the current
+// learning rate (after any decay steps), the momentum coefficient and the
+// per-parameter velocity buffers. Parameters that never accumulated
+// velocity have no entry.
+type SGDState struct {
+	Version  int
+	LR       float64
+	Momentum float64
+	NParams  int
+	Velocity []VelocityEntry
+}
+
+// Snapshot captures the optimizer's state for the given parameters (the
+// same ordered slice passed to Step — for a whole network, Network.Params).
+func (o *SGD) Snapshot(params []*Param) *SGDState {
+	st := &SGDState{
+		Version:  SGDStateVersion,
+		LR:       o.LR,
+		Momentum: o.Momentum,
+		NParams:  len(params),
+	}
+	for i, p := range params {
+		if v, ok := o.velocity[p]; ok {
+			st.Velocity = append(st.Velocity, VelocityEntry{Index: i, V: v.Clone()})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the optimizer's state from a snapshot taken over the
+// same parameter ordering.
+func (o *SGD) Restore(params []*Param, st *SGDState) error {
+	if st.Version != SGDStateVersion {
+		return fmt.Errorf("nn: sgd snapshot version %d, this build reads version %d", st.Version, SGDStateVersion)
+	}
+	if st.NParams != len(params) {
+		return fmt.Errorf("nn: sgd snapshot covers %d params, model has %d", st.NParams, len(params))
+	}
+	byIndex := make(map[int]*tensor.Dense, len(st.Velocity))
+	for _, e := range st.Velocity {
+		if e.Index < 0 || e.Index >= len(params) || e.V == nil {
+			return fmt.Errorf("nn: sgd snapshot has invalid velocity entry at index %d", e.Index)
+		}
+		byIndex[e.Index] = e.V
+	}
+	o.LR = st.LR
+	o.Momentum = st.Momentum
+	if o.velocity == nil {
+		o.velocity = map[*Param]*tensor.Dense{}
+	}
+	for i, p := range params {
+		v, ok := byIndex[i]
+		if !ok {
+			delete(o.velocity, p)
+			continue
+		}
+		r, c := p.Store.Shape()
+		if v.Rows != r || v.Cols != c {
+			return fmt.Errorf("nn: sgd snapshot velocity %d is %dx%d, param %q is %dx%d", i, v.Rows, v.Cols, p.Name, r, c)
+		}
+		o.velocity[p] = v.Clone()
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package train
+
+import (
+	"fmt"
+
+	"rramft/internal/nn"
+	"rramft/internal/tensor"
+)
+
+// ThresholdStateVersion is the current Threshold snapshot format version.
+const ThresholdStateVersion = 1
+
+// WriteAmountEntry is one parameter's WriteAmount counters, keyed by its
+// position in the params slice passed to Snapshot/Restore. Sparse entries
+// (rather than a nil-padded slice) keep the state gob-encodable: gob
+// rejects nil elements inside a slice of pointers.
+type WriteAmountEntry struct {
+	Index int
+	W     *tensor.Dense
+}
+
+// ThresholdState is a serializable snapshot of a Threshold policy: its
+// tuning knobs, the accumulated write-traffic statistics and the per-weight
+// WriteAmount counters. Parameters never filtered have no entry.
+type ThresholdState struct {
+	Version     int
+	Theta       float64
+	Quantile    float64
+	Adaptive    float64
+	Stats       Stats
+	NParams     int
+	WriteAmount []WriteAmountEntry
+}
+
+// Snapshot captures the policy's state for the given parameter ordering.
+func (t *Threshold) Snapshot(params []*nn.Param) *ThresholdState {
+	st := &ThresholdState{
+		Version:  ThresholdStateVersion,
+		Theta:    t.Theta,
+		Quantile: t.Quantile,
+		Adaptive: t.Adaptive,
+		Stats:    t.stats,
+		NParams:  len(params),
+	}
+	for i, p := range params {
+		if wa, ok := t.writeAmount[p]; ok {
+			st.WriteAmount = append(st.WriteAmount, WriteAmountEntry{Index: i, W: wa.Clone()})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the policy's state from a snapshot taken over the same
+// parameter ordering.
+func (t *Threshold) Restore(params []*nn.Param, st *ThresholdState) error {
+	if st.Version != ThresholdStateVersion {
+		return fmt.Errorf("train: threshold snapshot version %d, this build reads version %d", st.Version, ThresholdStateVersion)
+	}
+	if st.NParams != len(params) {
+		return fmt.Errorf("train: threshold snapshot covers %d params, model has %d", st.NParams, len(params))
+	}
+	byIndex := make(map[int]*tensor.Dense, len(st.WriteAmount))
+	for _, e := range st.WriteAmount {
+		if e.Index < 0 || e.Index >= len(params) || e.W == nil {
+			return fmt.Errorf("train: threshold snapshot has invalid counter entry at index %d", e.Index)
+		}
+		byIndex[e.Index] = e.W
+	}
+	t.Theta = st.Theta
+	t.Quantile = st.Quantile
+	t.Adaptive = st.Adaptive
+	t.stats = st.Stats
+	if t.writeAmount == nil {
+		t.writeAmount = map[*nn.Param]*tensor.Dense{}
+	}
+	for i, p := range params {
+		wa, ok := byIndex[i]
+		if !ok {
+			delete(t.writeAmount, p)
+			continue
+		}
+		r, c := p.Store.Shape()
+		if wa.Rows != r || wa.Cols != c {
+			return fmt.Errorf("train: threshold snapshot counters %d are %dx%d, param %q is %dx%d", i, wa.Rows, wa.Cols, p.Name, r, c)
+		}
+		t.writeAmount[p] = wa.Clone()
+	}
+	return nil
+}

@@ -5,23 +5,36 @@
 // experiment seed, so entire experiments are bit-reproducible. Streams are
 // derived by hashing a parent seed with a label, which keeps independent
 // subsystems statistically decoupled even when code is reordered.
+//
+// A Stream is backed by a math/rand/v2 PCG source, whose 128-bit state is
+// fully exposed through MarshalBinary/UnmarshalBinary. That makes every
+// stream snapshotable: serialize it mid-sequence, restore it in a fresh
+// process, and the continuation is byte-identical — the property the
+// checkpoint/resume protocol in internal/core is built on.
 package xrand
 
 import (
+	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"math/rand/v2"
 )
 
-// Stream is a deterministic source of pseudo-random numbers. It wraps
-// math/rand.Rand with convenience methods used across the simulator.
+// streamMix is the second PCG seed word, a fixed odd constant (the 64-bit
+// golden ratio) so that New(seed) depends on a single int64 as before.
+const streamMix = 0x9e3779b97f4a7c15
+
+// Stream is a deterministic source of pseudo-random numbers backed by a PCG
+// generator with convenience methods used across the simulator.
 // A Stream is not safe for concurrent use; derive one per goroutine.
 type Stream struct {
+	src *rand.PCG
 	rng *rand.Rand
 }
 
 // New returns a Stream seeded with the given seed.
 func New(seed int64) *Stream {
-	return &Stream{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewPCG(uint64(seed), uint64(seed)^streamMix)
+	return &Stream{src: src, rng: rand.New(src)}
 }
 
 // Derive returns a child Stream whose seed is a hash of the parent seed and
@@ -47,17 +60,40 @@ func DeriveSeed(seed int64, label string) int64 {
 // label. Unlike Derive, successive Splits with the same label differ,
 // because each Split consumes one value from the parent.
 func (s *Stream) Split(label string) *Stream {
-	return Derive(s.rng.Int63(), label)
+	return Derive(s.rng.Int64(), label)
+}
+
+// MarshalBinary serializes the stream's full generator state. The encoding
+// is the underlying PCG source's (stable across processes and Go releases);
+// the wrapping Rand holds no state of its own, so the source is the whole
+// stream.
+func (s *Stream) MarshalBinary() ([]byte, error) {
+	return s.src.MarshalBinary()
+}
+
+// UnmarshalBinary restores a stream previously serialized by MarshalBinary.
+// The continuation is byte-identical: the restored stream produces exactly
+// the draws the original would have produced next. It works on a zero
+// Stream, so gob and friends can decode into a fresh value.
+func (s *Stream) UnmarshalBinary(data []byte) error {
+	if s.src == nil {
+		s.src = &rand.PCG{}
+	}
+	if err := s.src.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("xrand: restoring stream: %w", err)
+	}
+	s.rng = rand.New(s.src)
+	return nil
 }
 
 // Float64 returns a uniform value in [0,1).
 func (s *Stream) Float64() float64 { return s.rng.Float64() }
 
 // Intn returns a uniform int in [0,n). It panics if n <= 0.
-func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
+func (s *Stream) Intn(n int) int { return s.rng.IntN(n) }
 
 // Int63 returns a non-negative 63-bit integer.
-func (s *Stream) Int63() int64 { return s.rng.Int63() }
+func (s *Stream) Int63() int64 { return s.rng.Int64() }
 
 // NormFloat64 returns a standard normal variate.
 func (s *Stream) NormFloat64() float64 { return s.rng.NormFloat64() }

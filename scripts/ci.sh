@@ -1,12 +1,22 @@
 #!/bin/sh
-# Repository gate: vet + build + full tests, then a race-detector pass.
+# Repository gate: formatting + vet + build + full tests, then a
+# race-detector pass.
 #
 # The race pass runs in -short mode: the slow training-experiment tests
 # (exp/core at Quick scale, minutes under -race) skip themselves via
 # testing.Short(), while every equivalence and concurrency-regression test
-# in par/tensor/rram/mapping still runs, keeping the pass under a minute.
+# in par/tensor/rram/mapping still runs — including the checkpoint/resume
+# equivalence suite in internal/core, which deliberately does NOT skip in
+# -short — keeping the pass under a minute.
 set -eu
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not gofmt-clean:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
