@@ -18,6 +18,18 @@ import (
 	"rramft/internal/exp"
 )
 
+// validateIDs rejects unknown experiment ids up front, so a typo in the
+// last id fails fast instead of after the earlier experiments already ran
+// for minutes.
+func validateIDs(ids []string) error {
+	for _, id := range ids {
+		if _, ok := exp.Registry[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+	}
+	return nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run paper-scale presets (slower)")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -35,16 +47,16 @@ func main() {
 	if len(ids) == 0 {
 		ids = exp.IDs()
 	}
+	if err := validateIDs(ids); err != nil {
+		fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
+		os.Exit(2)
+	}
 	scale := exp.Quick
 	if *full {
 		scale = exp.Full
 	}
 	for _, id := range ids {
-		gen, ok := exp.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "rramft-bench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
-		}
+		gen := exp.Registry[id]
 		start := time.Now()
 		rep := gen(scale, *seed)
 		fmt.Print(rep.Render())

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rramft/internal/exp"
+)
+
+func TestValidateIDs(t *testing.T) {
+	all := exp.IDs()
+	if len(all) == 0 {
+		t.Fatal("experiment registry is empty")
+	}
+	cases := []struct {
+		name    string
+		ids     []string
+		wantErr bool
+	}{
+		{"empty list", nil, false},
+		{"every registered id", all, false},
+		{"single valid id", all[:1], false},
+		{"unknown id", []string{"no-such-experiment"}, true},
+		{"typo after valid ids", append(append([]string{}, all...), "oops"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateIDs(tc.ids)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateIDs(%v) = %v, wantErr %v", tc.ids, err, tc.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), "-list") {
+				t.Fatalf("error %q does not point the user at -list", err)
+			}
+		})
+	}
+}

@@ -18,6 +18,44 @@ import (
 	"rramft/internal/xrand"
 )
 
+// options carries the parsed flag values so validation is testable apart
+// from flag.Parse and the process exit it triggers.
+type options struct {
+	Size     int
+	Faults   float64
+	Dist     string
+	HighRes  float64
+	Divisor  int
+	TestSize int
+}
+
+// validate rejects impossible flag combinations before the crossbar is
+// built (a bad -testsize would otherwise only surface as a panic deep in
+// detect.Run).
+func (o options) validate() error {
+	if o.Size <= 0 {
+		return fmt.Errorf("-size must be positive, got %d", o.Size)
+	}
+	if o.Faults < 0 || o.Faults > 1 {
+		return fmt.Errorf("-faults must be in [0, 1], got %g", o.Faults)
+	}
+	switch o.Dist {
+	case "uniform", "gaussian":
+	default:
+		return fmt.Errorf("-dist must be uniform or gaussian, got %q", o.Dist)
+	}
+	if o.HighRes < 0 || o.HighRes > 1 {
+		return fmt.Errorf("-highres must be in [0, 1], got %g", o.HighRes)
+	}
+	if o.Divisor <= 1 {
+		return fmt.Errorf("-divisor must be at least 2, got %d", o.Divisor)
+	}
+	if o.TestSize < 0 {
+		return fmt.Errorf("-testsize must be non-negative (0 sweeps powers of two), got %d", o.TestSize)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		size     = flag.Int("size", 128, "crossbar rows = columns")
@@ -30,6 +68,14 @@ func main() {
 		testSize = flag.Int("testsize", 0, "single test size (0 = sweep powers of two)")
 	)
 	flag.Parse()
+
+	opt := options{
+		Size: *size, Faults: *faults, Dist: *distName,
+		HighRes: *highRes, Divisor: *divisor, TestSize: *testSize,
+	}
+	if err := opt.validate(); err != nil {
+		log.Fatalf("rramft-detect: %v", err)
+	}
 
 	var dist fault.Distribution
 	switch *distName {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func validDetect() options {
+	return options{Size: 128, Faults: 0.1, Dist: "uniform", HighRes: 0.25, Divisor: 16, TestSize: 0}
+}
+
+func TestValidateDetectFlags(t *testing.T) {
+	if err := validDetect().validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantSub string
+	}{
+		{"zero size", func(o *options) { o.Size = 0 }, "-size"},
+		{"negative size", func(o *options) { o.Size = -4 }, "-size"},
+		{"fault fraction above one", func(o *options) { o.Faults = 2 }, "-faults"},
+		{"negative fault fraction", func(o *options) { o.Faults = -0.5 }, "-faults"},
+		{"unknown distribution", func(o *options) { o.Dist = "poisson" }, "-dist"},
+		{"highres above one", func(o *options) { o.HighRes = 1.1 }, "-highres"},
+		{"divisor one", func(o *options) { o.Divisor = 1 }, "-divisor"},
+		{"divisor zero", func(o *options) { o.Divisor = 0 }, "-divisor"},
+		{"negative test size", func(o *options) { o.TestSize = -1 }, "-testsize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validDetect()
+			tc.mutate(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("validate accepted %+v", o)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// Accepting boundaries: the degenerate-but-legal corners stay legal.
+func TestValidateDetectBoundaries(t *testing.T) {
+	o := validDetect()
+	o.Size, o.Divisor, o.TestSize = 1, 2, 0
+	o.Faults, o.HighRes = 0, 0
+	if err := o.validate(); err != nil {
+		t.Fatalf("minimal boundary options rejected: %v", err)
+	}
+	o.Faults, o.HighRes = 1, 1
+	o.Dist = "gaussian"
+	o.TestSize = 4096 // larger than the crossbar is legal: detect clamps per pass
+	if err := o.validate(); err != nil {
+		t.Fatalf("maximal boundary options rejected: %v", err)
+	}
+}

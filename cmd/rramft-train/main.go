@@ -29,6 +29,65 @@ import (
 	"rramft/internal/train"
 )
 
+// options carries the parsed flag values so validation is testable apart
+// from flag.Parse and the process exit it triggers.
+type options struct {
+	Net, Dataset    string
+	Iters, Batch    int
+	LR              float64
+	Faults          float64
+	Endurance       float64
+	Headroom        float64
+	DetectEvery     int
+	CheckpointEvery int
+	Resume          string
+}
+
+// validate rejects impossible flag combinations before any dataset or model
+// construction happens, with one clear error naming the offending flag.
+func (o options) validate() error {
+	switch o.Net {
+	case "mlp", "cnn":
+	default:
+		return fmt.Errorf("-net must be mlp or cnn, got %q", o.Net)
+	}
+	switch o.Dataset {
+	case "mnist", "cifar":
+	default:
+		return fmt.Errorf("-dataset must be mnist or cifar, got %q", o.Dataset)
+	}
+	if o.Iters <= 0 {
+		return fmt.Errorf("-iters must be positive, got %d", o.Iters)
+	}
+	if o.Batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", o.Batch)
+	}
+	if o.LR <= 0 {
+		return fmt.Errorf("-lr must be positive, got %g", o.LR)
+	}
+	if o.Faults < 0 || o.Faults > 1 {
+		return fmt.Errorf("-faults must be in [0, 1], got %g", o.Faults)
+	}
+	if o.Endurance < 0 {
+		return fmt.Errorf("-endurance must be non-negative, got %g", o.Endurance)
+	}
+	if o.Headroom <= 0 {
+		return fmt.Errorf("-headroom must be positive, got %g", o.Headroom)
+	}
+	if o.DetectEvery < 0 {
+		return fmt.Errorf("-detect-every must be non-negative, got %d", o.DetectEvery)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", o.CheckpointEvery)
+	}
+	if o.Resume != "" {
+		if _, err := os.Stat(o.Resume); err != nil {
+			return fmt.Errorf("-resume checkpoint %s is not readable: %w", o.Resume, err)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		netKind   = flag.String("net", "mlp", "network: mlp or cnn")
@@ -51,6 +110,16 @@ func main() {
 		resume    = flag.String("resume", "", "resume a session from a checkpoint file written by -checkpoint (all other flags must match the original run)")
 	)
 	flag.Parse()
+
+	opt := options{
+		Net: *netKind, Dataset: *dsName,
+		Iters: *iters, Batch: *batch, LR: *lr,
+		Faults: *faults, Endurance: *endurance, Headroom: *headroom,
+		DetectEvery: *detectEv, CheckpointEvery: *ckEvery, Resume: *resume,
+	}
+	if err := opt.validate(); err != nil {
+		log.Fatalf("rramft-train: %v", err)
+	}
 
 	var ds *dataset.Dataset
 	switch *dsName {

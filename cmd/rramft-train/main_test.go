@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// valid returns a fully valid options value tests mutate one field at a
+// time, so each case isolates exactly one rejection rule.
+func valid() options {
+	return options{
+		Net: "mlp", Dataset: "mnist",
+		Iters: 100, Batch: 16, LR: 0.05,
+		Faults: 0.1, Endurance: 0, Headroom: 1.5,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := valid().validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantSub string
+	}{
+		{"unknown net", func(o *options) { o.Net = "transformer" }, "-net"},
+		{"unknown dataset", func(o *options) { o.Dataset = "imagenet" }, "-dataset"},
+		{"zero iters", func(o *options) { o.Iters = 0 }, "-iters"},
+		{"negative iters", func(o *options) { o.Iters = -5 }, "-iters"},
+		{"zero batch", func(o *options) { o.Batch = 0 }, "-batch"},
+		{"zero lr", func(o *options) { o.LR = 0 }, "-lr"},
+		{"negative lr", func(o *options) { o.LR = -0.1 }, "-lr"},
+		{"fault fraction above one", func(o *options) { o.Faults = 1.5 }, "-faults"},
+		{"negative fault fraction", func(o *options) { o.Faults = -0.1 }, "-faults"},
+		{"negative endurance", func(o *options) { o.Endurance = -1 }, "-endurance"},
+		{"zero headroom", func(o *options) { o.Headroom = 0 }, "-headroom"},
+		{"negative detect interval", func(o *options) { o.DetectEvery = -1 }, "-detect-every"},
+		{"negative checkpoint interval", func(o *options) { o.CheckpointEvery = -2 }, "-checkpoint-every"},
+		{"nonexistent resume path", func(o *options) { o.Resume = filepath.Join(t.TempDir(), "missing.ck") }, "-resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := valid()
+			tc.mutate(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("validate accepted %+v", o)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsExistingResumePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.ck")
+	if err := os.WriteFile(path, []byte("ck"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := valid()
+	o.Resume = path
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate rejected an existing resume path: %v", err)
+	}
+}
+
+// Boundary values on the accepting side must stay accepted.
+func TestValidateBoundaryValues(t *testing.T) {
+	o := valid()
+	o.Iters, o.Batch = 1, 1
+	o.Faults = 0
+	o.DetectEvery, o.CheckpointEvery = 0, 0
+	if err := o.validate(); err != nil {
+		t.Fatalf("minimal boundary options rejected: %v", err)
+	}
+	o.Faults = 1
+	if err := o.validate(); err != nil {
+		t.Fatalf("faults=1 rejected: %v", err)
+	}
+}

@@ -24,16 +24,26 @@ import (
 	"rramft/internal/train"
 )
 
-const (
-	seed  = 7
-	iters = 400
-	ckAt  = 250 // checkpoint fires once: 2·250 > 400
+const seed = 7
+
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
+var (
+	iters = smokeInt(400, 40)
+	ckAt  = smokeInt(250, 25) // checkpoint fires once: 2·ckAt > iters
 )
 
 func buildData() *dataset.Dataset {
 	cfg := dataset.MNISTLike(seed)
-	cfg.TrainN = 600
-	cfg.TestN = 200
+	cfg.TrainN = smokeInt(600, 80)
+	cfg.TestN = smokeInt(200, 30)
 	return dataset.Generate(cfg)
 }
 
@@ -59,7 +69,7 @@ func buildConfig() core.TrainConfig {
 	d := detect.DefaultConfig()
 	d.TestSize = 4
 	cfg.Detect = &d
-	cfg.DetectEvery = 100
+	cfg.DetectEvery = smokeInt(100, 10)
 	cfg.OfflineDetect = true
 	cfg.FaultAwarePruning = true
 	cfg.Remap = remap.HillClimb{}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rramft/internal/detect"
 	"rramft/internal/fault"
@@ -17,7 +18,16 @@ import (
 	"rramft/internal/xrand"
 )
 
-const size = 128
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
+var size = smokeInt(128, 16)
 
 func buildCrossbar(dist fault.Distribution, seed int64) *rram.Crossbar {
 	rng := xrand.Derive(seed, "example/detection")

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rramft/internal/core"
 	"rramft/internal/dataset"
@@ -18,11 +19,20 @@ import (
 	"rramft/internal/train"
 )
 
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
 func main() {
 	cfg := dataset.MNISTLike(3)
-	cfg.TrainN, cfg.TestN = 1000, 300
+	cfg.TrainN, cfg.TestN = smokeInt(1000, 60), smokeInt(300, 20)
 	ds := dataset.Generate(cfg)
-	const iters = 1200
+	iters := smokeInt(1200, 30)
 
 	// Low-endurance cells: the mean endurance is on the order of the
 	// per-cell training write demand (~iters/12 writes with batch-1

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rramft/internal/core"
 	"rramft/internal/dataset"
@@ -19,13 +20,25 @@ import (
 	"rramft/internal/train"
 )
 
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
 func main() {
-	ds := dataset.Generate(dataset.MNISTLike(1))
-	const iters = 4000
+	dcfg := dataset.MNISTLike(1)
+	dcfg.TrainN = smokeInt(dcfg.TrainN, 60)
+	dcfg.TestN = smokeInt(dcfg.TestN, 20)
+	ds := dataset.Generate(dcfg)
+	iters := smokeInt(4000, 30)
 
 	// The paper's low-endurance model scaled to our iteration budget
 	// (mean endurance ~ training write demand; DESIGN.md §2).
-	endurance := fault.EnduranceModel{Mean: iters, Std: 0.3 * iters, WearSA0Prob: 0.5}
+	endurance := fault.EnduranceModel{Mean: float64(iters), Std: 0.3 * float64(iters), WearSA0Prob: 0.5}
 
 	run := func(useThreshold bool) *core.RunResult {
 		opts := core.DefaultBuildOptions(1)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rramft/internal/core"
 	"rramft/internal/dataset"
@@ -19,11 +20,21 @@ import (
 	"rramft/internal/train"
 )
 
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
 func main() {
 	// 1. A deterministic 10-class image dataset (MNIST stand-in).
 	cfg := dataset.MNISTLike(42)
-	cfg.TrainN, cfg.TestN = 1000, 300
+	cfg.TrainN, cfg.TestN = smokeInt(1000, 60), smokeInt(300, 20)
 	ds := dataset.Generate(cfg)
+	iters := smokeInt(1000, 20)
 
 	// 2. An MLP whose weights live on simulated RRAM crossbars with 30%
 	//    stuck-at fabrication faults and a wide conductance range.
@@ -40,7 +51,7 @@ func main() {
 	}
 
 	// 3. Plain on-line training: the stuck-at-1 cells poison it.
-	plainCfg := core.DefaultTrainConfig(42, 1000)
+	plainCfg := core.DefaultTrainConfig(42, iters)
 	plainCfg.LR = 0.02
 	plainCfg.LRDecay = 0
 	plain := core.Train(build(), ds, plainCfg)
@@ -56,7 +67,7 @@ func main() {
 	d := detect.DefaultConfig()
 	d.TestSize = 4
 	ftCfg.Detect = &d
-	ftCfg.DetectEvery = 500
+	ftCfg.DetectEvery = smokeInt(500, 10)
 	ftCfg.OfflineDetect = true
 	ftCfg.FaultAwarePruning = true
 	ftCfg.Remap = remap.Genetic{}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"rramft/internal/fault"
@@ -17,11 +18,22 @@ import (
 	"rramft/internal/xrand"
 )
 
+// smokeInt returns n, or tiny when RRAMFT_SMOKE is set — the repo's
+// examples smoke test runs every example at toy scale.
+func smokeInt(n, tiny int) int {
+	if os.Getenv("RRAMFT_SMOKE") != "" {
+		return tiny
+	}
+	return n
+}
+
 func main() {
+	var (
+		neurons  = smokeInt(256, 16) // boundary width (layer n columns = layer n+1 rows)
+		inLeft   = smokeInt(512, 32) // rows of layer n's weight matrix
+		outRight = smokeInt(128, 16) // columns of layer n+1's weight matrix
+	)
 	const (
-		neurons   = 256 // boundary width (layer n columns = layer n+1 rows)
-		inLeft    = 512 // rows of layer n's weight matrix
-		outRight  = 128 // columns of layer n+1's weight matrix
 		sparsity  = 0.6 // fraction of weights pruned to zero
 		faultFrac = 0.2
 	)

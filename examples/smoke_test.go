@@ -1,0 +1,49 @@
+// Package examples holds the runnable demos; this test-only file keeps
+// every one of them building and running.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example binary at toy scale
+// (RRAMFT_SMOKE=1, the knob each example reads through its smokeInt
+// helper). An example that stops compiling, panics, or — like
+// checkpoint_resume — detects a broken invariant and exits non-zero fails
+// the suite. Skipped under -short: full compiles of six binaries don't
+// belong in the race-enabled quick pass.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke compiles and runs six binaries; run without -short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = ".."
+			cmd.Env = append(os.Environ(), "RRAMFT_SMOKE=1")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

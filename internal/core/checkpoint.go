@@ -149,6 +149,17 @@ func (s *session) restore(ck *Checkpoint) error {
 	if (ck.Threshold == nil) != (s.cfg.Threshold == nil) {
 		return errors.New("core: threshold-training state in checkpoint does not match config")
 	}
+	// A decoded checkpoint is untrusted: gob happily leaves pointer fields
+	// nil when the stream omits them, and the nested Restore methods read
+	// through them. Reject incomplete checkpoints instead of panicking.
+	if ck.Opt == nil || ck.Batcher == nil {
+		return errors.New("core: checkpoint is missing optimizer or batcher state")
+	}
+	for i, st := range ck.Stores {
+		if st == nil {
+			return fmt.Errorf("core: checkpoint store snapshot %d is nil", i)
+		}
+	}
 	soft := make(map[int]*tensor.Dense, len(ck.SoftParams))
 	for _, e := range ck.SoftParams {
 		if e.Index < 0 || e.Index >= len(params) || e.W == nil {
@@ -170,8 +181,8 @@ func (s *session) restore(ck *Checkpoint) error {
 		if !ok {
 			continue
 		}
-		if sp.Rows != ms.W.Rows || sp.Cols != ms.W.Cols {
-			return fmt.Errorf("core: checkpoint param %q is %dx%d, model has %dx%d", p.Name, sp.Rows, sp.Cols, ms.W.Rows, ms.W.Cols)
+		if sp.Rows != ms.W.Rows || sp.Cols != ms.W.Cols || len(sp.Data) != sp.Rows*sp.Cols {
+			return fmt.Errorf("core: checkpoint param %q is %dx%d (%d values), model has %dx%d", p.Name, sp.Rows, sp.Cols, len(sp.Data), ms.W.Rows, ms.W.Cols)
 		}
 		ms.W.CopyFrom(sp)
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"rramft/internal/dataset"
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/metrics"
+	"rramft/internal/remap"
+	"rramft/internal/rram"
+	"rramft/internal/testkit"
+	"rramft/internal/train"
+)
+
+// coreGolden pins everything observable about one fixed-seed fault-tolerant
+// training session: the accuracy curve point by point, the hardware write
+// and wear-out counters, the re-mapping write cost and the aggregated
+// detection confusion matrix. Any change to initialization, batching, the
+// update rule, the maintenance phase or the RNG derivation tree shows up
+// here as a byte-level diff.
+type coreGolden struct {
+	Curve            *metrics.Series
+	PeakAcc          float64
+	FinalAcc         float64
+	FaultFractionEnd float64
+	Writes           int64
+	WearOuts         int64
+	RemapWrites      int64
+	DetectionPhases  int
+	Detection        metrics.Confusion
+}
+
+// TestGoldenFaultTolerantTrainingRun drives the complete Fig. 2 flow —
+// fabrication faults, threshold training, periodic on-line detection,
+// pruning, re-mapping, and endurance wear-out — at miniature scale, and
+// compares the full result against testdata/golden/train_run.json.
+//
+// Intentional behavior changes regenerate the file with
+//
+//	RRAMFT_UPDATE_GOLDEN=1 go test ./internal/core/ -run Golden
+//
+// (or scripts/regen_golden.sh) and the diff is reviewed like code.
+func TestGoldenFaultTolerantTrainingRun(t *testing.T) {
+	dcfg := dataset.MNISTLike(11)
+	dcfg.TrainN = 120
+	dcfg.TestN = 40
+	ds := dataset.Generate(dcfg)
+
+	opts := DefaultBuildOptions(11)
+	opts.OnRCS = true
+	opts.InitialFaultFrac = 0.1
+	// A tight endurance budget (mean 60 writes against ~40 update writes
+	// plus two to three detection writes per phase) so the run exercises
+	// wear-out faults, not just fabrication ones.
+	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{
+		Levels:    16,
+		WriteStd:  0.02,
+		Endurance: fault.EnduranceModel{Mean: 60, Std: 15, WearSA0Prob: 0.5},
+	}}
+	m := BuildMLP(ds.InSize(), []int{12}, 10, opts)
+
+	cfg := DefaultTrainConfig(11, 40)
+	cfg.BatchSize = 8
+	d := detect.DefaultConfig()
+	cfg.Detect = &d
+	cfg.DetectEvery = 10
+	cfg.OfflineDetect = true
+	cfg.Threshold = train.NewThreshold()
+	cfg.Remap = remap.HillClimb{}
+
+	res := Train(m, ds, cfg)
+
+	testkit.Golden(t, "testdata/golden/train_run.json", coreGolden{
+		Curve:            res.Curve,
+		PeakAcc:          res.PeakAcc,
+		FinalAcc:         res.FinalAcc,
+		FaultFractionEnd: res.FaultFractionEnd,
+		Writes:           res.Writes,
+		WearOuts:         res.WearOuts,
+		RemapWrites:      res.RemapWrites,
+		DetectionPhases:  res.DetectionPhases,
+		Detection:        res.DetectionScore,
+	})
+}

@@ -1,0 +1,69 @@
+package detect
+
+import (
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+// FuzzMarchInput drives both testers from arbitrary bytes interpreted as a
+// crossbar description (dimensions, cell levels, fault kinds, test size)
+// and checks the exactness invariants no input may break:
+//
+//   - MarchTest recovers the injected fault map exactly on a noise-free
+//     array (the property the paper relies on to use March as the off-line
+//     ground-truth baseline);
+//   - the quiescent-voltage test never panics and, with test size below
+//     the divisor, detects every injected fault (error sums of at most
+//     TestSize < Divisor ±δ contributions cannot alias to zero).
+func FuzzMarchInput(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 4, 7, 1, 0, 2, 5, 0, 1, 3, 3, 0, 6, 2})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func(i int) byte {
+			if len(data) == 0 {
+				return 0
+			}
+			return data[i%len(data)]
+		}
+		rows := 1 + int(next(0))%8
+		cols := 1 + int(next(1))%8
+		testSize := 1 + int(next(2))%8
+
+		cfg := rram.Config{Levels: 8, WriteStd: 0, Endurance: fault.Unlimited()}
+		cb := rram.New(rows, cols, cfg, xrand.New(9))
+		truth := fault.NewMap(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				i := r*cols + c
+				cb.Write(r, c, float64(int(next(3+2*i))%8))
+				kind := fault.Kind(int(next(4+2*i)) % 3)
+				cb.SetFault(r, c, kind)
+				truth.Set(r, c, kind)
+			}
+		}
+
+		march := MarchTest(cb)
+		for i := range truth.Kinds {
+			if march.Pred.Kinds[i] != truth.Kinds[i] {
+				t.Fatalf("march predicted %v at cell %d, truth is %v (crossbar %dx%d)",
+					march.Pred.Kinds[i], i, truth.Kinds[i], rows, cols)
+			}
+		}
+		if march.Cycles != 5*rows*cols {
+			t.Fatalf("march cost %d cycles on %dx%d, want %d", march.Cycles, rows, cols, 5*rows*cols)
+		}
+
+		res := Run(cb, Config{TestSize: testSize, Divisor: 16, Delta: 1})
+		for i, k := range truth.Kinds {
+			if k.IsFault() && !res.Pred.Kinds[i].IsFault() {
+				t.Fatalf("quiescent test missed injected %v at cell %d (crossbar %dx%d, testsize %d)",
+					k, i, rows, cols, testSize)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package detect
+
+import (
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/metrics"
+	"rramft/internal/rram"
+	"rramft/internal/testkit"
+	"rramft/internal/xrand"
+)
+
+// detectGolden pins one detection run: its cost (test time and total
+// cycles) and its quality against ground truth (full confusion matrix plus
+// the derived precision/recall the paper quotes).
+type detectGolden struct {
+	TestSize  int
+	Selected  bool
+	TestTime  int
+	Cycles    int
+	Confusion metrics.Confusion
+	Precision float64
+	Recall    float64
+}
+
+// TestGoldenDetectionConfusion runs the quiescent-voltage detector on a
+// fixed noisy crossbar with a fixed fault population at three operating
+// points (two test sizes plus candidate-restricted testing) and compares
+// confusion matrices and test times against
+// testdata/golden/detect_confusion.json. This pins the detector's exact
+// quality/cost trade-off: any change to the test procedure, the mismatch
+// threshold, candidate selection or the noise model shifts TP/FP/FN/TN or
+// the cycle counts and fails the gate. Regenerate intentionally with
+// RRAMFT_UPDATE_GOLDEN=1 (or scripts/regen_golden.sh).
+func TestGoldenDetectionConfusion(t *testing.T) {
+	build := func() *rram.Crossbar {
+		cfg := rram.Config{Levels: 8, WriteStd: 0.1, Endurance: fault.Unlimited()}
+		cb := rram.New(24, 20, cfg, xrand.New(3))
+		lvl := xrand.New(17)
+		for r := 0; r < 24; r++ {
+			for c := 0; c < 20; c++ {
+				cb.Write(r, c, float64(lvl.Intn(8)))
+			}
+		}
+		truth := fault.NewMap(24, 20)
+		fault.Uniform{}.Inject(truth, 0.12, 0.5, xrand.New(29))
+		cb.InjectFaults(truth)
+		return cb
+	}
+
+	var golden []detectGolden
+	for _, cfg := range []Config{
+		{TestSize: 4, Divisor: 16, Delta: 1},
+		{TestSize: 16, Divisor: 16, Delta: 1},
+		DefaultConfig(), // TestSize 16 with candidate-restricted testing
+	} {
+		if cfg.SA1CandidateMin > 0 {
+			cfg.SelectedCells = true
+		}
+		cb := build() // fresh array per run: detection consumes endurance
+		res := Run(cb, cfg)
+		conf := Score(res.Pred, cb.FaultMap())
+		golden = append(golden, detectGolden{
+			TestSize:  cfg.TestSize,
+			Selected:  cfg.SelectedCells,
+			TestTime:  res.TestTime,
+			Cycles:    res.CyclesTotal,
+			Confusion: conf,
+			Precision: conf.Precision(),
+			Recall:    conf.Recall(),
+		})
+	}
+	testkit.Golden(t, "testdata/golden/detect_confusion.json", golden)
+}

@@ -1,0 +1,151 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/xrand"
+)
+
+func TestGroupLinesBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		sel  []int
+		size int
+		want [][]int
+	}{
+		{"empty selection", nil, 4, nil},
+		{"group size 1", []int{3, 5, 9}, 1, [][]int{{3}, {5}, {9}}},
+		{"group larger than selection", []int{0, 1, 2}, 16, [][]int{{0, 1, 2}}},
+		{"exact multiple", []int{0, 1, 2, 3}, 2, [][]int{{0, 1}, {2, 3}}},
+		{"remainder group", []int{0, 1, 2, 3, 4}, 2, [][]int{{0, 1}, {2, 3}, {4}}},
+		{"single line", []int{7}, 4, [][]int{{7}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := groupLines(tc.sel, tc.size)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("groupLines(%v, %d) = %v, want %v", tc.sel, tc.size, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMismatchBoundaries(t *testing.T) {
+	cases := []struct {
+		name        string
+		analog, ref float64
+		divisor     int
+		want        bool
+	}{
+		{"exact match", 5, 5, 16, false},
+		{"off by one", 5, 6, 16, true},
+		{"aliased by divisor", 3, 19, 16, false},
+		{"aliased twice", 3, 35, 16, false},
+		{"rounds to match", 4.49, 4, 16, false},
+		{"rounds to mismatch", 4.51, 4, 16, true},
+		{"negative sum aliases", -13, 3, 16, false},
+		{"negative sum mismatch", -12, 3, 16, true},
+		{"divisor two parity", 7, 9, 2, false},
+		{"divisor two mismatch", 7, 8, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mismatch(tc.analog, tc.ref, tc.divisor); got != tc.want {
+				t.Fatalf("mismatch(%v, %v, %d) = %v, want %v", tc.analog, tc.ref, tc.divisor, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestModNBoundaries(t *testing.T) {
+	cases := []struct{ x, n, want int }{
+		{0, 16, 0},
+		{15, 16, 15},
+		{16, 16, 0},
+		{-1, 16, 15},
+		{-16, 16, 0},
+		{-17, 16, 15},
+		{5, 2, 1},
+		{-5, 2, 1},
+	}
+	for _, tc := range cases {
+		if got := modN(tc.x, tc.n); got != tc.want {
+			t.Errorf("modN(%d, %d) = %d, want %d", tc.x, tc.n, got, tc.want)
+		}
+	}
+}
+
+// candidateLines at boundary configurations: all-cell mode returns every
+// line; selected mode returns only lines containing candidates, which can
+// be the empty set (no candidates at all) or the full set.
+func TestCandidateLinesBoundaries(t *testing.T) {
+	cfg := rram.Config{Levels: 8, WriteStd: 0, Endurance: fault.Unlimited()}
+	cb := rram.New(3, 4, cfg, xrand.New(1))
+	// Program all cells to mid-range level 3: no SA0 candidates (≤0), no
+	// SA1 candidates (≥7).
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			cb.Write(r, c, 3)
+		}
+	}
+	stored := make([]int, 12)
+	for i := range stored {
+		stored[i] = 3
+	}
+
+	t.Run("all-cell mode covers everything", func(t *testing.T) {
+		dcfg := Config{TestSize: 2, Divisor: 16, Delta: 1}
+		rows, cols := candidateLines(cb, dcfg, stored, fault.SA0)
+		if !reflect.DeepEqual(rows, []int{0, 1, 2}) || !reflect.DeepEqual(cols, []int{0, 1, 2, 3}) {
+			t.Fatalf("all-cell mode selected rows %v cols %v", rows, cols)
+		}
+	})
+
+	t.Run("selected mode with no candidates is empty", func(t *testing.T) {
+		dcfg := Config{TestSize: 2, Divisor: 16, Delta: 1, SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7}
+		rows, cols := candidateLines(cb, dcfg, stored, fault.SA0)
+		if len(rows) != 0 || len(cols) != 0 {
+			t.Fatalf("no SA0 candidates, but selected rows %v cols %v", rows, cols)
+		}
+		rows, cols = candidateLines(cb, dcfg, stored, fault.SA1)
+		if len(rows) != 0 || len(cols) != 0 {
+			t.Fatalf("no SA1 candidates, but selected rows %v cols %v", rows, cols)
+		}
+	})
+
+	t.Run("selected mode picks candidate lines only", func(t *testing.T) {
+		st := append([]int(nil), stored...)
+		st[1*4+2] = 0 // SA0 candidate at (1,2)
+		dcfg := Config{TestSize: 2, Divisor: 16, Delta: 1, SelectedCells: true, SA0CandidateMax: 0, SA1CandidateMin: 7}
+		rows, cols := candidateLines(cb, dcfg, st, fault.SA0)
+		if !reflect.DeepEqual(rows, []int{1}) || !reflect.DeepEqual(cols, []int{2}) {
+			t.Fatalf("selected rows %v cols %v, want [1] [2]", rows, cols)
+		}
+	})
+
+	t.Run("empty selection runs a zero-cycle pass", func(t *testing.T) {
+		// A detection phase over zero candidate lines must cost zero
+		// cycles and flag nothing, not crash.
+		dcfg := Config{TestSize: 2, Divisor: 16, Delta: 1, SelectedCells: true, SA0CandidateMax: -1, SA1CandidateMin: 100}
+		res := Run(cb, dcfg)
+		if res.TestTime != 0 || res.CyclesTotal != 0 {
+			t.Fatalf("empty selection cost %d cycles (TestTime %d)", res.CyclesTotal, res.TestTime)
+		}
+		for i, k := range res.Pred.Kinds {
+			if k.IsFault() {
+				t.Fatalf("empty selection flagged cell %d", i)
+			}
+		}
+	})
+
+	t.Run("group size larger than crossbar", func(t *testing.T) {
+		dcfg := Config{TestSize: 64, Divisor: 16, Delta: 1}
+		res := Run(cb, dcfg)
+		if res.TestTime != 2 {
+			t.Fatalf("one oversized group per direction should cost 1+1 cycles, got %d", res.TestTime)
+		}
+	})
+}

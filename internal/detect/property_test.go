@@ -1,0 +1,212 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/rram"
+	"rramft/internal/testkit"
+	"rramft/internal/xrand"
+)
+
+// idealCrossbar builds a noise-free crossbar (exact writes, exact senses,
+// unlimited endurance) programmed with random integer levels. All detection
+// properties below rely on exactness: with WriteStd = 0 every ±δ test write
+// lands exactly, so group sums are integer-valued and the modulo comparison
+// has no rounding slack at all.
+func idealCrossbar(g *testkit.Gen, rows, cols, levels int) *rram.Crossbar {
+	cfg := rram.Config{Levels: levels, WriteStd: 0, Endurance: fault.Unlimited()}
+	cb := rram.New(rows, cols, cfg, g.Stream("cb"))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cb.Write(r, c, float64(g.IntRange(0, levels-1)))
+		}
+	}
+	return cb
+}
+
+// Metamorphic property: a healthy, noise-free crossbar never raises a
+// flag — every detection prediction on it is a false positive by
+// construction, and with exact writes the error terms are exactly zero.
+// Detection must also restore the training weights exactly afterwards
+// (the ±δ round trip plus the saturation fix-up).
+func TestDetectCleanCrossbarRaisesNoFlags(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 80, Seed: 71, MaxSize: 16}, func(g *testkit.Gen) error {
+		rows := g.Dim(1, 24)
+		cols := g.Dim(1, 24)
+		cb := idealCrossbar(g, rows, cols, 8)
+		before := levelsOf(cb)
+
+		cfg := Config{TestSize: g.OneOf(1, 2, 4, 8), Divisor: 16, Delta: 1}
+		g.Logf("crossbar %dx%d testsize=%d", rows, cols, cfg.TestSize)
+		res := Run(cb, cfg)
+
+		for i, k := range res.Pred.Kinds {
+			if k.IsFault() {
+				return fmt.Errorf("clean crossbar flagged cell %d as %v", i, k)
+			}
+		}
+		after := levelsOf(cb)
+		for i := range before {
+			if before[i] != after[i] {
+				return fmt.Errorf("detection changed cell %d from %v to %v", i, before[i], after[i])
+			}
+		}
+		wantTime := (rows+cfg.TestSize-1)/cfg.TestSize + (cols+cfg.TestSize-1)/cfg.TestSize
+		if res.TestTime != wantTime {
+			return fmt.Errorf("test time %d, want ⌈%d/%d⌉+⌈%d/%d⌉ = %d", res.TestTime, rows, cfg.TestSize, cols, cfg.TestSize, wantTime)
+		}
+		return nil
+	})
+}
+
+// Metamorphic property: detect.Run is equivariant under relabeling of rows
+// and columns within their test groups. Permuting the physical lanes of a
+// crossbar so that every line stays inside its own test group permutes the
+// predictions the same way: the group sums are over identical cell
+// multisets (integer-valued, so addition order cannot matter), and the
+// cross-intersection rule only consults (group, line) pairs.
+func TestDetectInvariantToWithinGroupRelabeling(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 80, Seed: 79, MaxSize: 16}, func(g *testkit.Gen) error {
+		rows := g.Dim(1, 24)
+		cols := g.Dim(1, 24)
+		levels := 8
+		cfg := Config{TestSize: g.OneOf(2, 4, 8), Divisor: 16, Delta: 1}
+		g.Logf("crossbar %dx%d testsize=%d", rows, cols, cfg.TestSize)
+
+		a := idealCrossbar(g, rows, cols, levels)
+		// Sprinkle faults over random cells, both polarities.
+		nf := g.IntRange(0, 1+rows*cols/20)
+		for k := 0; k < nf; k++ {
+			kind := fault.SA0
+			if g.Bool(0.5) {
+				kind = fault.SA1
+			}
+			a.SetFault(g.Intn(rows), g.Intn(cols), kind)
+		}
+
+		rowPerm := withinGroupPerm(g, rows, cfg.TestSize)
+		colPerm := withinGroupPerm(g, cols, cfg.TestSize)
+
+		// Build b as the relabeled twin: cell (r, c) of a lives at
+		// (rowPerm[r], colPerm[c]) in b, faults included.
+		bcfg := rram.Config{Levels: levels, WriteStd: 0, Endurance: fault.Unlimited()}
+		b := rram.New(rows, cols, bcfg, xrand.New(1))
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				b.Write(rowPerm[r], colPerm[c], a.ProgrammedLevel(r, c))
+				b.SetFault(rowPerm[r], colPerm[c], a.Fault(r, c))
+			}
+		}
+
+		resA := Run(a, cfg)
+		resB := Run(b, cfg)
+		if resA.TestTime != resB.TestTime {
+			return fmt.Errorf("test time changed under relabeling: %d vs %d", resA.TestTime, resB.TestTime)
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if resA.Pred.At(r, c) != resB.Pred.At(rowPerm[r], colPerm[c]) {
+					return fmt.Errorf("prediction at (%d,%d)=%v but relabeled twin has %v at (%d,%d)",
+						r, c, resA.Pred.At(r, c), resB.Pred.At(rowPerm[r], colPerm[c]), rowPerm[r], colPerm[c])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// withinGroupPerm permutes [0, n) while keeping every index inside its own
+// size-sized test group (the last, possibly short, group included).
+func withinGroupPerm(g *testkit.Gen, n, size int) []int {
+	perm := make([]int, n)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		sub := g.Perm(end - start)
+		for i, p := range sub {
+			perm[start+i] = start + p
+		}
+	}
+	return perm
+}
+
+// Round-trip property: injected SA0/SA1 populations are recovered by
+// detection. With exact writes and a test size below the divisor, every
+// fault contributes exactly ±δ to its group sums and at most TestSize < 16
+// faults share a group line, so no error sum can alias to 0 mod 16 —
+// detection of injected faults is exact (recall 1.0). Predicted polarity
+// matches the injected polarity for at least the paper's detection-rate
+// bound (>90%): a true SA0's kind can only be misreported when SA1 faults
+// happen to intersect both of its group lines, which low fault density
+// makes rare.
+func TestDetectRoundTripsInjectedFaultPopulations(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 100, Seed: 83, MaxSize: 16}, func(g *testkit.Gen) error {
+		rows := g.Dim(4, 32)
+		cols := g.Dim(4, 32)
+		cb := idealCrossbar(g, rows, cols, 8)
+		cfg := Config{TestSize: g.OneOf(2, 4, 8), Divisor: 16, Delta: 1}
+
+		// Low-density faults at distinct cells (≈2%, at least one).
+		nf := 1 + rows*cols/50
+		truth := fault.NewMap(rows, cols)
+		placed := 0
+		for placed < nf {
+			r, c := g.Intn(rows), g.Intn(cols)
+			if truth.At(r, c).IsFault() {
+				continue
+			}
+			kind := fault.SA0
+			if g.Bool(0.5) {
+				kind = fault.SA1
+			}
+			truth.Set(r, c, kind)
+			cb.SetFault(r, c, kind)
+			placed++
+		}
+		g.Logf("crossbar %dx%d testsize=%d faults=%d", rows, cols, cfg.TestSize, nf)
+
+		res := Run(cb, cfg)
+		var detected, kindRight int
+		for i, k := range truth.Kinds {
+			if !k.IsFault() {
+				continue
+			}
+			if res.Pred.Kinds[i].IsFault() {
+				detected++
+				if res.Pred.Kinds[i] == k {
+					kindRight++
+				}
+			}
+		}
+		if detected != nf {
+			return fmt.Errorf("detected %d of %d injected faults; recall must be exact under these settings", detected, nf)
+		}
+		if float64(kindRight) < 0.9*float64(nf) {
+			return fmt.Errorf("polarity correct for %d of %d detected faults, below the 90%% bound", kindRight, nf)
+		}
+
+		// Confusion-matrix accounting must agree with the direct count.
+		conf := Score(res.Pred, truth)
+		if conf.TP != detected {
+			return fmt.Errorf("Score reports TP=%d, direct count is %d", conf.TP, detected)
+		}
+		if conf.FN != nf-detected {
+			return fmt.Errorf("Score reports FN=%d, want %d", conf.FN, nf-detected)
+		}
+		return nil
+	})
+}
+
+func levelsOf(cb *rram.Crossbar) []float64 {
+	out := make([]float64, 0, cb.Rows()*cb.Cols())
+	for r := 0; r < cb.Rows(); r++ {
+		for c := 0; c < cb.Cols(); c++ {
+			out = append(out, cb.ProgrammedLevel(r, c))
+		}
+	}
+	return out
+}

@@ -2,10 +2,23 @@ package mapping
 
 import (
 	"fmt"
+	"math"
 
 	"rramft/internal/fault"
 	"rramft/internal/rram"
 )
+
+// validPerm reports whether p is a permutation of [0, len(p)).
+func validPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
 
 // StoreStateVersion is the current CrossbarStore snapshot format version.
 const StoreStateVersion = 1
@@ -57,6 +70,9 @@ func (s *CrossbarStore) Snapshot() *StoreState {
 // wiring (crossbar config) is kept; weights, signs, masks, permutations,
 // fault estimates and the crossbar's cells, wear and RNG are all replaced.
 func (s *CrossbarStore) Restore(st *StoreState) error {
+	if st == nil {
+		return fmt.Errorf("mapping: nil store snapshot for store %q", s.name)
+	}
 	if st.Version != StoreStateVersion {
 		return fmt.Errorf("mapping: store snapshot version %d, this build reads version %d", st.Version, StoreStateVersion)
 	}
@@ -73,8 +89,18 @@ func (s *CrossbarStore) Restore(st *StoreState) error {
 	if st.Keep != nil && len(st.Keep) != n {
 		return fmt.Errorf("mapping: snapshot keep mask has %d entries, want %d", len(st.Keep), n)
 	}
-	if st.Est != nil && (st.Est.Rows != s.rows || st.Est.Cols != s.cols) {
-		return fmt.Errorf("mapping: snapshot fault estimate is %dx%d, store is %dx%d", st.Est.Rows, st.Est.Cols, s.rows, s.cols)
+	if st.Est != nil && (st.Est.Rows != s.rows || st.Est.Cols != s.cols || len(st.Est.Kinds) != n) {
+		return fmt.Errorf("mapping: snapshot fault estimate is %dx%d (%d cells), store is %dx%d", st.Est.Rows, st.Est.Cols, len(st.Est.Kinds), s.rows, s.cols)
+	}
+	// A decoded snapshot is untrusted input: out-of-range permutation
+	// entries would panic deep inside effWeight on the first Read, and a
+	// non-positive or non-finite WMax would silently corrupt the level
+	// scale for every weight.
+	if !validPerm(st.RowPerm) || !validPerm(st.ColPerm) {
+		return fmt.Errorf("mapping: snapshot row/col maps for store %q are not permutations", s.name)
+	}
+	if !(st.WMax > 0) || math.IsInf(st.WMax, 1) {
+		return fmt.Errorf("mapping: snapshot WMax %v for store %q is not a positive finite value", st.WMax, s.name)
 	}
 	if err := s.cb.Restore(st.Crossbar); err != nil {
 		return fmt.Errorf("mapping: store %q: %w", s.name, err)
@@ -131,6 +157,9 @@ func (s *TiledStore) Snapshot() *TiledState {
 // Restore overwrites every tile from a snapshot of an identically-shaped
 // tiled store.
 func (s *TiledStore) Restore(st *TiledState) error {
+	if st == nil {
+		return fmt.Errorf("mapping: nil tiled snapshot for store %q", s.name)
+	}
 	if st.Version != TiledStateVersion {
 		return fmt.Errorf("mapping: tiled snapshot version %d, this build reads version %d", st.Version, TiledStateVersion)
 	}
@@ -179,6 +208,9 @@ func (s *DiffPairStore) Snapshot() *DiffPairState {
 // Restore overwrites the differential store from a snapshot of an
 // identically-shaped store.
 func (s *DiffPairStore) Restore(st *DiffPairState) error {
+	if st == nil {
+		return fmt.Errorf("mapping: nil diffpair snapshot for store %q", s.name)
+	}
 	if st.Version != DiffPairStateVersion {
 		return fmt.Errorf("mapping: diffpair snapshot version %d, this build reads version %d", st.Version, DiffPairStateVersion)
 	}
@@ -187,6 +219,9 @@ func (s *DiffPairStore) Restore(st *DiffPairState) error {
 	}
 	if len(st.WTarget) != s.rows*s.cols {
 		return fmt.Errorf("mapping: diffpair snapshot target array has %d entries, want %d", len(st.WTarget), s.rows*s.cols)
+	}
+	if !(st.WMax > 0) || math.IsInf(st.WMax, 1) {
+		return fmt.Errorf("mapping: snapshot WMax %v for store %q is not a positive finite value", st.WMax, s.name)
 	}
 	if err := s.pos.Restore(st.Pos); err != nil {
 		return fmt.Errorf("mapping: diffpair %q positive array: %w", s.name, err)

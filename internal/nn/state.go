@@ -75,8 +75,8 @@ func (o *SGD) Restore(params []*Param, st *SGDState) error {
 			continue
 		}
 		r, c := p.Store.Shape()
-		if v.Rows != r || v.Cols != c {
-			return fmt.Errorf("nn: sgd snapshot velocity %d is %dx%d, param %q is %dx%d", i, v.Rows, v.Cols, p.Name, r, c)
+		if v.Rows != r || v.Cols != c || len(v.Data) != r*c {
+			return fmt.Errorf("nn: sgd snapshot velocity %d is %dx%d (%d values), param %q is %dx%d", i, v.Rows, v.Cols, len(v.Data), p.Name, r, c)
 		}
 		o.velocity[p] = v.Clone()
 	}

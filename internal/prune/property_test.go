@@ -1,0 +1,76 @@
+package prune
+
+import (
+	"fmt"
+	"testing"
+
+	"rramft/internal/tensor"
+	"rramft/internal/testkit"
+)
+
+// Metamorphic property: magnitude pruning is monotone in the sparsity
+// target — raising the threshold can only prune additional weights, never
+// resurrect one. The deterministic tie-break in MagnitudeMask makes this
+// hold even with many equal magnitudes, so the generator deliberately draws
+// weights from a tiny quantized set to force ties.
+func TestMagnitudeMaskMonotoneUnderSparsityIncrease(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 120, Seed: 61, MaxSize: 16}, func(g *testkit.Gen) error {
+		rows := g.Dim(1, 16)
+		cols := g.Dim(1, 16)
+		w := tensor.NewDense(rows, cols)
+		for i := range w.Data {
+			// Quantized magnitudes in {-1, -0.75, …, 1}: ties are the norm.
+			w.Data[i] = float64(g.IntRange(-4, 4)) / 4
+		}
+		s1 := g.FloatRange(0, 0.99)
+		s2 := g.FloatRange(s1, 0.99)
+		g.Logf("w %dx%d sparsity %.3f -> %.3f", rows, cols, s1, s2)
+
+		m1 := MagnitudeMask(w, s1)
+		m2 := MagnitudeMask(w, s2)
+		for i := range m1.Keep {
+			if m1.Keep[i] == false && m2.Keep[i] == true {
+				return fmt.Errorf("weight %d pruned at sparsity %.3f but kept at %.3f", i, s1, s2)
+			}
+		}
+
+		// The cut count is exactly ⌊sparsity·N⌋ — the mask never over- or
+		// under-prunes.
+		n := len(w.Data)
+		if pruned := n - m2.CountKept(); pruned != int(s2*float64(n)) {
+			return fmt.Errorf("sparsity %.3f pruned %d of %d, want %d", s2, pruned, n, int(s2*float64(n)))
+		}
+		return nil
+	})
+}
+
+// Pruned entries are always the smallest magnitudes: no kept weight may be
+// strictly smaller in magnitude than a pruned one.
+func TestMagnitudeMaskPrunesSmallestFirst(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 80, Seed: 67, MaxSize: 16}, func(g *testkit.Gen) error {
+		rows := g.Dim(1, 16)
+		cols := g.Dim(1, 16)
+		w := tensor.NewDense(rows, cols)
+		for i := range w.Data {
+			w.Data[i] = g.FloatRange(-2, 2)
+		}
+		m := MagnitudeMask(w, g.FloatRange(0, 0.99))
+		maxPruned, minKept := -1.0, -1.0
+		for i, k := range m.Keep {
+			v := w.Data[i]
+			if v < 0 {
+				v = -v
+			}
+			if !k && v > maxPruned {
+				maxPruned = v
+			}
+			if k && (minKept < 0 || v < minKept) {
+				minKept = v
+			}
+		}
+		if maxPruned >= 0 && minKept >= 0 && minKept < maxPruned {
+			return fmt.Errorf("kept |w|=%g but pruned |w|=%g", minKept, maxPruned)
+		}
+		return nil
+	})
+}

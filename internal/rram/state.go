@@ -58,6 +58,9 @@ func (cb *Crossbar) Snapshot() *State {
 // be meaningful); everything else — levels, faults, wear, stats, RNG — is
 // replaced.
 func (cb *Crossbar) Restore(st *State) error {
+	if st == nil {
+		return fmt.Errorf("rram: nil crossbar snapshot")
+	}
 	if st.Version != StateVersion {
 		return fmt.Errorf("rram: snapshot version %d, this build reads version %d", st.Version, StateVersion)
 	}

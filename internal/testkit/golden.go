@@ -1,0 +1,95 @@
+// Golden-file regression gate: a test computes a result struct for a fixed
+// seed, and Golden compares its JSON encoding byte-for-byte against a
+// checked-in file under testdata/golden/. Floats round-trip exactly through
+// encoding/json (shortest-representation encoding), so any numerical drift
+// — even in the last bit — fails the gate.
+//
+// Regenerate the files after an intentional behaviour change with
+//
+//	RRAMFT_UPDATE_GOLDEN=1 go test ./...
+//
+// or scripts/regen_golden.sh, and review the diff like any other code.
+package testkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// EnvUpdateGolden, when set to 1, makes Golden rewrite the file instead of
+// comparing against it.
+const EnvUpdateGolden = "RRAMFT_UPDATE_GOLDEN"
+
+// Golden compares v against the golden file at path (repo-relative to the
+// calling test's package, conventionally testdata/golden/<name>.json).
+// With RRAMFT_UPDATE_GOLDEN=1 it rewrites the file and skips the check.
+func Golden(t *testing.T, path string, v any) {
+	t.Helper()
+	got, err := marshalGolden(v)
+	if err != nil {
+		t.Fatalf("golden %s: %v", path, err)
+	}
+	if os.Getenv(EnvUpdateGolden) == "1" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden %s: %v", path, err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden %s: %v", path, err)
+		}
+		t.Logf("golden %s: rewritten (%d bytes)", path, len(got))
+		return
+	}
+	if err := CompareGolden(path, v); err != nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+// CompareGolden is the non-fatal core of Golden: it returns an error when
+// the golden file is missing or its bytes differ from v's encoding. Exposed
+// so the gate itself can be tested against a deliberately corrupted file.
+func CompareGolden(path string, v any) error {
+	got, err := marshalGolden(v)
+	if err != nil {
+		return fmt.Errorf("golden %s: %v", path, err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden %s: missing file (run %s=1 go test to create it): %v", path, EnvUpdateGolden, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("golden %s: result drifted from pinned run\n%s\nif the change is intentional, regenerate with %s=1 go test (or scripts/regen_golden.sh) and review the diff",
+			path, firstDiff(want, got), EnvUpdateGolden)
+	}
+	return nil
+}
+
+// marshalGolden encodes v deterministically: indented JSON with a trailing
+// newline. encoding/json sorts map keys and prints floats in shortest
+// exact form, so equal values always produce equal bytes.
+func marshalGolden(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// firstDiff locates the first differing line for a readable report.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

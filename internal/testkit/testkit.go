@@ -1,0 +1,219 @@
+// Package testkit is a stdlib-only property-testing toolkit for the
+// simulator: a seeded quickcheck-style runner (ForAll) over generator
+// handles (Gen) with size shrinking, plus golden-file helpers (golden.go)
+// that pin exact numerical results for fixed seeds.
+//
+// Determinism contract: every trial derives its RNG from the suite seed and
+// the trial index, so a property failure is reproducible from the two
+// numbers printed with it. Re-run a single failing case with
+//
+//	RRAMFT_PROP_SEED=<seed> RRAMFT_PROP_SIZE=<size> go test -run <TestName>
+//
+// Shrinking happens over the size parameter: when a trial fails at size s,
+// the runner replays the same trial seed at sizes 1, 2, … and reports the
+// smallest size that still fails, so the counterexample is as close to
+// minimal as the generators allow.
+package testkit
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rramft/internal/xrand"
+)
+
+// Env variables that replay one specific trial instead of the whole suite.
+const (
+	EnvSeed = "RRAMFT_PROP_SEED"
+	EnvSize = "RRAMFT_PROP_SIZE"
+)
+
+// Config parameterizes one property suite.
+type Config struct {
+	// Trials is the number of generated cases (default 100).
+	Trials int
+	// Seed is the suite base seed; every trial seed derives from it
+	// (default 1). Changing it re-rolls the whole suite.
+	Seed int64
+	// MaxSize caps the size parameter; trial sizes ramp linearly from 1
+	// to MaxSize across the suite so small counterexamples are tried
+	// first (default 16).
+	MaxSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 16
+	}
+	return c
+}
+
+// Gen is the generator handle passed to a property: a deterministic RNG for
+// the trial plus the trial's size parameter. Values drawn through the
+// helper methods may be recorded with Logf so a failure report shows the
+// generated configuration.
+type Gen struct {
+	rng  *xrand.Stream
+	size int
+	log  []string
+}
+
+// Size returns the trial's size parameter in [1, MaxSize]. Generators
+// should scale the "bigness" of generated values (dimensions, counts) with
+// it so that shrinking can find small counterexamples.
+func (g *Gen) Size() int { return g.size }
+
+// Rng returns the trial's raw random stream, for bulk generation.
+func (g *Gen) Rng() *xrand.Stream { return g.rng }
+
+// Stream derives an independent labelled substream from the trial seed —
+// use it when a component (crossbar, dataset) wants to own a stream.
+func (g *Gen) Stream(label string) *xrand.Stream { return g.rng.Split(label) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *Gen) Intn(n int) int { return g.rng.Intn(n) }
+
+// IntRange returns a uniform int in [lo, hi] inclusive.
+func (g *Gen) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("testkit: IntRange(%d, %d)", lo, hi))
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// Dim returns a size-scaled dimension in [lo, min(hi, lo+Size()-1)]: at
+// size 1 it always returns lo, and larger trials may draw up to hi.
+func (g *Gen) Dim(lo, hi int) int {
+	capped := lo + g.size - 1
+	if capped < hi {
+		hi = capped
+	}
+	return g.IntRange(lo, hi)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *Gen) Float64() float64 { return g.rng.Float64() }
+
+// FloatRange returns a uniform value in [lo, hi).
+func (g *Gen) FloatRange(lo, hi float64) float64 { return g.rng.Uniform(lo, hi) }
+
+// Bool returns true with probability p.
+func (g *Gen) Bool(p float64) bool { return g.rng.Bool(p) }
+
+// Perm returns a random permutation of [0, n).
+func (g *Gen) Perm(n int) []int { return g.rng.Perm(n) }
+
+// OneOf returns one of the given ints uniformly.
+func (g *Gen) OneOf(vals ...int) int { return vals[g.rng.Intn(len(vals))] }
+
+// Logf records a line describing a generated value; the lines are printed
+// with the failure report (and discarded for passing trials).
+func (g *Gen) Logf(format string, args ...any) {
+	g.log = append(g.log, fmt.Sprintf(format, args...))
+}
+
+// Failure describes one failing trial after shrinking.
+type Failure struct {
+	Trial int   // trial index within the suite (-1 for an env replay)
+	Seed  int64 // trial seed — replay key
+	Size  int   // smallest size at which the trial still fails
+	Err   error // the property's error at that size
+	Log   []string
+}
+
+// Error formats the failure with its reproduction instructions.
+func (f *Failure) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "property failed (trial %d, seed %d, size %d): %v", f.Trial, f.Seed, f.Size, f.Err)
+	for _, line := range f.Log {
+		fmt.Fprintf(&b, "\n  gen: %s", line)
+	}
+	fmt.Fprintf(&b, "\nreproduce with: %s=%d %s=%d go test -run <this test>", EnvSeed, f.Seed, EnvSize, f.Size)
+	return b.String()
+}
+
+// ForAll checks the property over cfg.Trials generated cases and fails t
+// with a reproducible report on the first (shrunk) counterexample. The
+// property returns nil to accept a case and an error to reject it; a panic
+// inside the property is treated as a failure too.
+func ForAll(t *testing.T, cfg Config, prop func(g *Gen) error) {
+	t.Helper()
+	if f := Check(cfg, prop); f != nil {
+		t.Fatal(f.Error())
+	}
+}
+
+// Check runs the suite and returns the first shrunk failure, or nil when
+// every trial passes. ForAll is the testing.T wrapper; Check is exposed so
+// the runner itself can be tested.
+func Check(cfg Config, prop func(g *Gen) error) *Failure {
+	cfg = cfg.withDefaults()
+
+	// Env replay: run exactly one trial with the given seed and size.
+	if v := os.Getenv(EnvSeed); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return &Failure{Trial: -1, Err: fmt.Errorf("bad %s=%q: %v", EnvSeed, v, err)}
+		}
+		size := cfg.MaxSize
+		if sv := os.Getenv(EnvSize); sv != "" {
+			if s, err := strconv.Atoi(sv); err == nil && s > 0 {
+				size = s
+			}
+		}
+		if log, err := runTrial(seed, size, prop); err != nil {
+			return &Failure{Trial: -1, Seed: seed, Size: size, Err: err, Log: log}
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Trials; i++ {
+		size := trialSize(i, cfg)
+		seed := xrand.DeriveSeed(cfg.Seed, fmt.Sprintf("testkit/trial-%d", i))
+		log, err := runTrial(seed, size, prop)
+		if err == nil {
+			continue
+		}
+		f := &Failure{Trial: i, Seed: seed, Size: size, Err: err, Log: log}
+		// Shrink over size: the smallest size at which this trial's seed
+		// still fails is the better counterexample.
+		for s := 1; s < size; s++ {
+			if slog, serr := runTrial(seed, s, prop); serr != nil {
+				f.Size, f.Err, f.Log = s, serr, slog
+				break
+			}
+		}
+		return f
+	}
+	return nil
+}
+
+// trialSize ramps linearly from 1 to MaxSize across the suite.
+func trialSize(i int, cfg Config) int {
+	if cfg.Trials == 1 {
+		return cfg.MaxSize
+	}
+	return 1 + i*(cfg.MaxSize-1)/(cfg.Trials-1)
+}
+
+// runTrial executes one property call, converting panics into errors.
+func runTrial(seed int64, size int, prop func(g *Gen) error) (log []string, err error) {
+	g := &Gen{rng: xrand.New(seed), size: size}
+	defer func() {
+		log = g.log
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	err = prop(g)
+	return g.log, err
+}

@@ -1,0 +1,207 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The runner must be deterministic: two runs of the same suite draw the
+// same values in the same order.
+func TestCheckDeterministic(t *testing.T) {
+	record := func() []string {
+		var vals []string
+		Check(Config{Trials: 20, Seed: 42}, func(g *Gen) error {
+			vals = append(vals, fmt.Sprintf("%d/%d/%.17g", g.Size(), g.IntRange(0, 999), g.Float64()))
+			return nil
+		})
+		return vals
+	}
+	a, b := record(), record()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("expected 20 trials, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d drew %s then %s — runner is not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// Sizes must ramp from 1 to MaxSize so small counterexamples are tried
+// first and big ones still get coverage.
+func TestCheckSizeRamp(t *testing.T) {
+	var sizes []int
+	Check(Config{Trials: 10, MaxSize: 8}, func(g *Gen) error {
+		sizes = append(sizes, g.Size())
+		return nil
+	})
+	if sizes[0] != 1 {
+		t.Fatalf("first trial size = %d, want 1", sizes[0])
+	}
+	if sizes[len(sizes)-1] != 8 {
+		t.Fatalf("last trial size = %d, want MaxSize=8", sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatalf("sizes not monotone: %v", sizes)
+		}
+	}
+}
+
+// A property failing only at size >= 5 must be shrunk to exactly size 5.
+func TestCheckShrinksToSmallestFailingSize(t *testing.T) {
+	f := Check(Config{Trials: 50, MaxSize: 16}, func(g *Gen) error {
+		if g.Size() >= 5 {
+			return errors.New("too big")
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("expected a failure")
+	}
+	if f.Size != 5 {
+		t.Fatalf("shrunk size = %d, want 5", f.Size)
+	}
+}
+
+// The failure report must carry the replay seed, the generator log, and
+// reproduction instructions.
+func TestFailureReportIsReproducible(t *testing.T) {
+	f := Check(Config{Trials: 5, Seed: 9}, func(g *Gen) error {
+		n := g.IntRange(10, 20)
+		g.Logf("n=%d", n)
+		return fmt.Errorf("reject %d", n)
+	})
+	if f == nil {
+		t.Fatal("expected a failure")
+	}
+	msg := f.Error()
+	for _, want := range []string{"seed", "gen: n=", EnvSeed, EnvSize} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("failure report missing %q:\n%s", want, msg)
+		}
+	}
+	// Replaying the reported seed at the reported size must reproduce the
+	// same drawn value.
+	var replayed string
+	t.Setenv(EnvSeed, fmt.Sprint(f.Seed))
+	t.Setenv(EnvSize, fmt.Sprint(f.Size))
+	rf := Check(Config{Trials: 5, Seed: 9}, func(g *Gen) error {
+		n := g.IntRange(10, 20)
+		replayed = fmt.Sprintf("reject %d", n)
+		return fmt.Errorf("reject %d", n)
+	})
+	if rf == nil {
+		t.Fatal("env replay did not run the trial")
+	}
+	if replayed != f.Err.Error() {
+		t.Fatalf("replay drew %q, original failure was %q", replayed, f.Err.Error())
+	}
+}
+
+// Panics inside a property are failures with the panic message, not crashes.
+func TestCheckRecoversPanics(t *testing.T) {
+	f := Check(Config{Trials: 3}, func(g *Gen) error {
+		panic("boom")
+	})
+	if f == nil {
+		t.Fatal("expected a failure from the panicking property")
+	}
+	if !strings.Contains(f.Err.Error(), "boom") {
+		t.Fatalf("failure does not carry the panic message: %v", f.Err)
+	}
+}
+
+func TestGenHelpersStayInRange(t *testing.T) {
+	f := Check(Config{Trials: 200, MaxSize: 16}, func(g *Gen) error {
+		if v := g.IntRange(3, 7); v < 3 || v > 7 {
+			return fmt.Errorf("IntRange(3,7) = %d", v)
+		}
+		if d := g.Dim(2, 30); d < 2 || d > 30 || d > 2+g.Size()-1 {
+			return fmt.Errorf("Dim(2,30) = %d at size %d", d, g.Size())
+		}
+		if x := g.FloatRange(-1, 1); x < -1 || x >= 1 {
+			return fmt.Errorf("FloatRange(-1,1) = %g", x)
+		}
+		p := g.Perm(5)
+		seen := make([]bool, 5)
+		for _, v := range p {
+			if v < 0 || v >= 5 || seen[v] {
+				return fmt.Errorf("Perm(5) = %v is not a permutation", p)
+			}
+			seen[v] = true
+		}
+		if v := g.OneOf(1, 2, 8); v != 1 && v != 2 && v != 8 {
+			return fmt.Errorf("OneOf = %d", v)
+		}
+		return nil
+	})
+	if f != nil {
+		t.Fatal(f.Error())
+	}
+}
+
+// Golden round-trip: writing then comparing succeeds; corrupting any byte
+// makes the gate fail. This is the self-test required by the acceptance
+// criteria — a deliberately corrupted golden file must trip the gate.
+func TestGoldenGateDetectsCorruption(t *testing.T) {
+	type result struct {
+		Loss   []float64
+		Writes int
+	}
+	v := result{Loss: []float64{0.9321457, 0.512, 0.25000000000000011}, Writes: 4211}
+	path := filepath.Join(t.TempDir(), "run.json")
+
+	t.Setenv(EnvUpdateGolden, "1")
+	Golden(t, path, v)
+	t.Setenv(EnvUpdateGolden, "")
+
+	if err := CompareGolden(path, v); err != nil {
+		t.Fatalf("pristine golden should compare clean: %v", err)
+	}
+
+	// Corrupt one digit — the smallest possible numerical drift visible in
+	// the encoding — and require the gate to trip.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := []byte(strings.Replace(string(b), "4211", "4212", 1))
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareGolden(path, v); err == nil {
+		t.Fatal("corrupted golden file did not fail the gate")
+	} else if !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A missing file must also fail, with a hint to regenerate.
+	if err := CompareGolden(filepath.Join(t.TempDir(), "missing.json"), v); err == nil {
+		t.Fatal("missing golden file did not fail the gate")
+	}
+}
+
+// Floats must survive the JSON round-trip exactly: the gate's sensitivity
+// to last-bit drift depends on it.
+func TestGoldenFloatExactness(t *testing.T) {
+	vals := []float64{1.0 / 3.0, 0.1, 1e-17, 123456.789012345678}
+	path := filepath.Join(t.TempDir(), "floats.json")
+	t.Setenv(EnvUpdateGolden, "1")
+	Golden(t, path, vals)
+	t.Setenv(EnvUpdateGolden, "")
+	if err := CompareGolden(path, vals); err != nil {
+		t.Fatalf("exact floats drifted through JSON: %v", err)
+	}
+	// The nearest representable neighbour must NOT compare clean.
+	bumped := append([]float64(nil), vals...)
+	bumped[0] = math.Nextafter(bumped[0], 2)
+	if err := CompareGolden(path, bumped); err == nil {
+		t.Fatal("one-ulp drift was not detected")
+	}
+}

@@ -80,8 +80,8 @@ func (t *Threshold) Restore(params []*nn.Param, st *ThresholdState) error {
 			continue
 		}
 		r, c := p.Store.Shape()
-		if wa.Rows != r || wa.Cols != c {
-			return fmt.Errorf("train: threshold snapshot counters %d are %dx%d, param %q is %dx%d", i, wa.Rows, wa.Cols, p.Name, r, c)
+		if wa.Rows != r || wa.Cols != c || len(wa.Data) != r*c {
+			return fmt.Errorf("train: threshold snapshot counters %d are %dx%d (%d values), param %q is %dx%d", i, wa.Rows, wa.Cols, len(wa.Data), p.Name, r, c)
 		}
 		t.writeAmount[p] = wa.Clone()
 	}

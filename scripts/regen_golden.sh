@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate the golden regression files under internal/*/testdata/golden/.
+#
+# Run this after an *intentional* behavior change (new RNG derivation, a
+# different update rule, a detector fix, ...), then review the JSON diff
+# like code: every changed number is a behavior change you are signing off
+# on. The golden gates themselves run in the normal `go test ./...` pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RRAMFT_UPDATE_GOLDEN=1 go test ./internal/core/ ./internal/detect/ -run 'Golden' -count=1 "$@"
+
+echo
+echo "golden files now:"
+git status --short -- '*testdata/golden*' || true
