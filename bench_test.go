@@ -20,6 +20,7 @@ import (
 	"rramft/internal/exp"
 	"rramft/internal/fault"
 	"rramft/internal/mapping"
+	"rramft/internal/obs"
 	"rramft/internal/par"
 	"rramft/internal/rram"
 	"rramft/internal/tensor"
@@ -235,6 +236,42 @@ func BenchmarkCheckpointLoad(b *testing.B) {
 }
 
 func BenchmarkCrossbarWrite(b *testing.B) {
+	cb := benchCrossbar(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.Write(i%64, (i/64)%64, float64(i%8))
+	}
+}
+
+// BenchmarkMVMInstrumented measures the telemetry-ON cost of the crossbar
+// MVM hot path, for comparison against BenchmarkCrossbarMVM256 (telemetry
+// off). Because obs.EnableMetrics is sticky for the process, this
+// benchmark is declared last in the file: earlier benchmarks in the same
+// -bench run measure the disabled path. The acceptance bar for the
+// disabled path is a ≤2% delta; the enabled path pays one counter
+// increment per MVM, invisible at the ~160µs scale of a 256² MVM.
+func BenchmarkMVMInstrumented(b *testing.B) {
+	obs.EnableMetrics()
+	cb := benchCrossbar(b, 256)
+	in := make([]float64, 256)
+	rng := xrand.New(2)
+	for i := range in {
+		in[i] = rng.Uniform(-1, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.MVM(in)
+	}
+}
+
+// BenchmarkCrossbarWriteInstrumented is the telemetry-ON counterpart of
+// BenchmarkCrossbarWrite — the harshest case for the obs gate, since a
+// single write is ~11ns and the guarded counter increment is a measurable
+// fraction of it. Also declared after the disabled-path benchmarks.
+func BenchmarkCrossbarWriteInstrumented(b *testing.B) {
+	obs.EnableMetrics()
 	cb := benchCrossbar(b, 64)
 	b.ReportAllocs()
 	b.ResetTimer()

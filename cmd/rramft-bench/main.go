@@ -15,7 +15,9 @@ import (
 	"os"
 	"time"
 
+	"rramft/internal/cliutil"
 	"rramft/internal/exp"
+	"rramft/internal/obs"
 )
 
 // validateIDs rejects unknown experiment ids up front, so a typo in the
@@ -34,7 +36,15 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale presets (slower)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	telemetry := flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+	helpMD := flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
 	flag.Parse()
+
+	if *helpMD {
+		cliutil.HelpMD(os.Stdout, "rramft-bench", flag.CommandLine)
+		return
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -51,14 +61,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
 		os.Exit(2)
 	}
+	closeJournal, err := cliutil.Telemetry(*telemetry, *debugAddr, cliutil.Header{
+		Cmd: "rramft-bench", Seed: *seed, Config: cliutil.FlagValues(flag.CommandLine),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := closeJournal(); err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-bench: closing telemetry journal: %v\n", err)
+		}
+	}()
+
 	scale := exp.Quick
 	if *full {
 		scale = exp.Full
 	}
 	for _, id := range ids {
 		gen := exp.Registry[id]
+		sp := obs.Span(id)
 		start := time.Now()
 		rep := gen(scale, *seed)
+		sp.End()
+		obs.EmitCounters(id)
 		fmt.Print(rep.Render())
 		fmt.Printf("[%s completed in %s at %s scale]\n\n", id, time.Since(start).Round(time.Millisecond), scale)
 	}

@@ -11,9 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"rramft/internal/cliutil"
 	"rramft/internal/detect"
 	"rramft/internal/fault"
+	"rramft/internal/obs"
 	"rramft/internal/rram"
 	"rramft/internal/xrand"
 )
@@ -62,12 +65,21 @@ func main() {
 		faults   = flag.Float64("faults", 0.1, "fraction of faulty cells")
 		distName = flag.String("dist", "uniform", "fault distribution: uniform or gaussian")
 		highRes  = flag.Float64("highres", 0.25, "fraction of cells in the high-resistance state")
-		divisor  = flag.Int("divisor", 16, "modulo divisor")
-		selected = flag.Bool("selected", false, "test only candidate cells (§4.3)")
+		divisor  = flag.Int("divisor", 16, "modulo divisor [§4.2]")
+		selected = flag.Bool("selected", false, "test only candidate cells [§4.3]")
 		seed     = flag.Int64("seed", 1, "random seed")
-		testSize = flag.Int("testsize", 0, "single test size (0 = sweep powers of two)")
+		testSize = flag.Int("testsize", 0, "single test size (0 = sweep powers of two) [§4.2]")
+
+		telemetry = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+		helpMD    = flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
 	)
 	flag.Parse()
+
+	if *helpMD {
+		cliutil.HelpMD(os.Stdout, "rramft-detect", flag.CommandLine)
+		return
+	}
 
 	opt := options{
 		Size: *size, Faults: *faults, Dist: *distName,
@@ -76,6 +88,18 @@ func main() {
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-detect: %v", err)
 	}
+
+	closeJournal, err := cliutil.Telemetry(*telemetry, *debugAddr, cliutil.Header{
+		Cmd: "rramft-detect", Seed: *seed, Config: cliutil.FlagValues(flag.CommandLine),
+	})
+	if err != nil {
+		log.Fatalf("rramft-detect: %v", err)
+	}
+	defer func() {
+		if err := closeJournal(); err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-detect: closing telemetry journal: %v\n", err)
+		}
+	}()
 
 	var dist fault.Distribution
 	switch *distName {
@@ -118,6 +142,7 @@ func main() {
 
 	fmt.Println("test_size,test_time_cycles,precision,recall,f1,tp,fp,fn")
 	for _, t := range testSizes {
+		sp := obs.Span("detect")
 		cb := build()
 		cfg := detect.Config{
 			TestSize: t, Divisor: *divisor, Delta: 1,
@@ -125,6 +150,12 @@ func main() {
 		}
 		res := detect.Run(cb, cfg)
 		conf := detect.Score(res.Pred, cb.FaultMap())
+		obs.Emit("detect_point", map[string]float64{
+			"test_size": float64(t), "cycles": float64(res.CyclesTotal),
+			"precision": conf.Precision(), "recall": conf.Recall(),
+			"tp": float64(conf.TP), "fp": float64(conf.FP), "fn": float64(conf.FN),
+		})
+		sp.End()
 		fmt.Printf("%d,%d,%.4f,%.4f,%.4f,%d,%d,%d\n",
 			t, res.TestTime, conf.Precision(), conf.Recall(), conf.F1(), conf.TP, conf.FP, conf.FN)
 	}

@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"rramft/internal/cliutil"
 	"rramft/internal/core"
 	"rramft/internal/dataset"
 	"rramft/internal/detect"
@@ -100,16 +101,24 @@ func main() {
 		gaussian  = flag.Bool("gaussian-faults", false, "cluster the initial faults (Stapper model)")
 		endurance = flag.Float64("endurance", 0, "mean cell endurance in writes (0 = unlimited)")
 		headroom  = flag.Float64("headroom", 1.5, "conductance range headroom over initial weights")
-		ft        = flag.Bool("ft", false, "enable the full fault-tolerant flow (threshold + detection + pruning + re-mapping)")
-		threshold = flag.Bool("threshold", false, "enable threshold training only")
-		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft)")
+		ft        = flag.Bool("ft", false, "enable the full fault-tolerant flow (threshold + detection + pruning + re-mapping) [§5]")
+		threshold = flag.Bool("threshold", false, "enable threshold training only [§5.1]")
+		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft) [§4]")
 		software  = flag.Bool("software", false, "ideal case: keep all weights in software")
 		verbose   = flag.Bool("v", false, "log per-eval progress to stderr")
 		ckPath    = flag.String("checkpoint", "", "write a session checkpoint to this file every -checkpoint-every iterations")
 		ckEvery   = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = iters/4; used with -checkpoint)")
 		resume    = flag.String("resume", "", "resume a session from a checkpoint file written by -checkpoint (all other flags must match the original run)")
+		telemetry = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+		helpMD    = flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
 	)
 	flag.Parse()
+
+	if *helpMD {
+		cliutil.HelpMD(os.Stdout, "rramft-train", flag.CommandLine)
+		return
+	}
 
 	opt := options{
 		Net: *netKind, Dataset: *dsName,
@@ -120,6 +129,18 @@ func main() {
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-train: %v", err)
 	}
+
+	closeJournal, err := cliutil.Telemetry(*telemetry, *debugAddr, cliutil.Header{
+		Cmd: "rramft-train", Seed: *seed, Config: cliutil.FlagValues(flag.CommandLine),
+	})
+	if err != nil {
+		log.Fatalf("rramft-train: %v", err)
+	}
+	defer func() {
+		if err := closeJournal(); err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-train: closing telemetry journal: %v\n", err)
+		}
+	}()
 
 	var ds *dataset.Dataset
 	switch *dsName {

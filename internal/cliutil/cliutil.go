@@ -1,0 +1,107 @@
+// Package cliutil holds the flag-handling helpers shared by the three
+// commands: the -help-md machine-readable CLI reference generator (the
+// README's CLI table is generated from it so documentation cannot drift —
+// scripts/gen_cli_docs.sh, checked by scripts/ci.sh) and the common
+// telemetry flag wiring for -telemetry and -debug-addr (DESIGN.md §9).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"rramft/internal/obs"
+)
+
+// PaperRef extracts the trailing "[§N.M]" paper-section marker from a
+// flag usage string, returning the cleaned usage text and the section
+// ("—" when the flag has no paper counterpart). Commands annotate flags
+// that realize a specific paper mechanism, e.g.:
+//
+//	flag.Bool("threshold", false, "enable threshold training only [§5.1]")
+func PaperRef(usage string) (clean, ref string) {
+	usage = strings.TrimSpace(usage)
+	if i := strings.LastIndex(usage, "[§"); i >= 0 && strings.HasSuffix(usage, "]") {
+		return strings.TrimSpace(usage[:i]), usage[i+1 : len(usage)-1]
+	}
+	return usage, "—"
+}
+
+// HelpMD writes a GitHub-markdown reference table of every flag in fs:
+// name, default value, the paper section it maps to (from the usage
+// string's trailing [§N.M] marker) and the description. Flags print in
+// lexicographic order, matching flag.PrintDefaults, so the output is
+// deterministic and diffable.
+func HelpMD(w io.Writer, cmd string, fs *flag.FlagSet) {
+	fmt.Fprintf(w, "### `%s`\n\n", cmd)
+	fmt.Fprintf(w, "| Flag | Default | Paper | Description |\n")
+	fmt.Fprintf(w, "|------|---------|-------|-------------|\n")
+	var flags []*flag.Flag
+	fs.VisitAll(func(f *flag.Flag) { flags = append(flags, f) })
+	sort.Slice(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name })
+	for _, f := range flags {
+		usage, ref := PaperRef(f.Usage)
+		def := f.DefValue
+		if def == "" {
+			def = `""`
+		}
+		fmt.Fprintf(w, "| `-%s` | `%s` | %s | %s |\n", f.Name, def, ref, escapeCell(usage))
+	}
+}
+
+// escapeCell makes a usage string safe inside a markdown table cell.
+func escapeCell(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// Telemetry starts the observability endpoints a command opted into:
+// a JSONL run journal at journalPath (empty = none) with the given
+// header, and the pprof/expvar debug HTTP server on debugAddr (empty =
+// none). It returns a close function for the journal (never nil) and an
+// error when either endpoint cannot start — commands treat that as a
+// fatal flag error, since a run the user asked to observe but can't is
+// not worth the cycles.
+func Telemetry(journalPath, debugAddr string, h Header) (func() error, error) {
+	if debugAddr != "" {
+		addr, err := obs.ServeDebug(debugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("starting debug endpoint: %w", err)
+		}
+		fmt.Fprintf(stderr, "%s: pprof/expvar on http://%s/debug/\n", h.Cmd, addr)
+	}
+	if journalPath == "" {
+		return func() error { return nil }, nil
+	}
+	j, err := obs.Open(journalPath, obs.Header(h))
+	if err != nil {
+		return nil, err
+	}
+	return j.Close, nil
+}
+
+// Header aliases obs.Header so commands using cliutil need not import obs
+// for the common wiring.
+type Header = obs.Header
+
+// FlagValues captures every flag of fs (set or default) as strings for
+// the journal header, so a journal records the complete effective
+// configuration of its run.
+func FlagValues(fs *flag.FlagSet) map[string]string {
+	out := map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) {
+		// The generator/introspection flags say nothing about the run.
+		switch f.Name {
+		case "help-md", "telemetry", "debug-addr", "list":
+			return
+		}
+		out[f.Name] = f.Value.String()
+	})
+	return out
+}
+
+// stderr is swapped by tests.
+var stderr io.Writer = os.Stderr

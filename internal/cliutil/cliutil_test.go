@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestPaperRef(t *testing.T) {
+	cases := []struct{ usage, wantClean, wantRef string }{
+		{"enable threshold training [§5.1]", "enable threshold training", "§5.1"},
+		{"plain usage string", "plain usage string", "—"},
+		{"trailing bracket [not a ref]", "trailing bracket [not a ref]", "—"},
+		{"[§4.3]", "", "§4.3"},
+	}
+	for _, c := range cases {
+		clean, ref := PaperRef(c.usage)
+		if clean != c.wantClean || ref != c.wantRef {
+			t.Errorf("PaperRef(%q) = (%q, %q), want (%q, %q)", c.usage, clean, ref, c.wantClean, c.wantRef)
+		}
+	}
+}
+
+func TestHelpMD(t *testing.T) {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	fs.Int("zeta", 3, "last alphabetically")
+	fs.Bool("alpha", false, "first | with pipe [§2.1]")
+	fs.String("mid", "", "empty default")
+
+	var buf bytes.Buffer
+	HelpMD(&buf, "demo", fs)
+	out := buf.String()
+
+	if !strings.HasPrefix(out, "### `demo`\n") {
+		t.Fatalf("missing heading:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// heading, blank, header, separator, then one row per flag in name order.
+	rows := lines[4:]
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d:\n%s", len(rows), out)
+	}
+	if !strings.HasPrefix(rows[0], "| `-alpha` ") || !strings.HasPrefix(rows[2], "| `-zeta` ") {
+		t.Errorf("rows not sorted by flag name:\n%s", out)
+	}
+	if !strings.Contains(rows[0], "§2.1") || !strings.Contains(rows[0], `first \| with pipe`) {
+		t.Errorf("paper ref or pipe escaping missing: %s", rows[0])
+	}
+	if !strings.Contains(rows[1], "| `\"\"` |") {
+		t.Errorf("empty default not quoted: %s", rows[1])
+	}
+}
+
+func TestFlagValues(t *testing.T) {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	fs.Int("seed", 1, "")
+	fs.String("telemetry", "", "")
+	fs.String("debug-addr", "", "")
+	fs.Bool("help-md", false, "")
+	if err := fs.Parse([]string{"-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	got := FlagValues(fs)
+	if got["seed"] != "7" {
+		t.Errorf("seed = %q, want 7", got["seed"])
+	}
+	for _, k := range []string{"telemetry", "debug-addr", "help-md"} {
+		if _, ok := got[k]; ok {
+			t.Errorf("introspection flag %q should be excluded from header", k)
+		}
+	}
+}
+
+func TestTelemetryJournal(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	closeFn, err := Telemetry(path, "", Header{Cmd: "demo", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-opening after close must work (journal released).
+	closeFn2, err := Telemetry("", "", Header{Cmd: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn2(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,8 +12,18 @@ import (
 	"rramft/internal/mapping"
 	"rramft/internal/metrics"
 	"rramft/internal/nn"
+	"rramft/internal/obs"
 	"rramft/internal/tensor"
 	"rramft/internal/train"
+)
+
+// Registry counters for checkpoint I/O (DESIGN.md §9): saves completed
+// and bytes written, so long runs expose their checkpoint overhead in the
+// journal and on /debug/vars. Counting happens around the file write —
+// the checkpoint format itself is untouched by telemetry.
+var (
+	cCheckpointSaves = obs.NewCounter("core.checkpoint_saves")
+	cCheckpointBytes = obs.NewCounter("core.checkpoint_bytes")
 )
 
 // CheckpointVersion is the on-disk checkpoint format version. Bump it on
@@ -282,7 +292,8 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	if err := WriteCheckpoint(f, ck); err != nil {
+	cw := &countingWriter{w: f}
+	if err := WriteCheckpoint(cw, ck); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -296,7 +307,26 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if obs.MetricsEnabled() {
+		cCheckpointSaves.Inc()
+		cCheckpointBytes.Add(cw.n)
+	}
+	return nil
+}
+
+// countingWriter counts bytes passing through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // LoadCheckpoint reads a checkpoint file written by SaveCheckpoint.

@@ -1,0 +1,23 @@
+// Package core implements the paper's complete fault-tolerant on-line
+// training flow (Fig. 2): forward/backward propagation on the RRAM
+// computing system, threshold training after back-propagation, and a
+// periodic maintenance phase of on-line fault detection, pruning and
+// neuron re-ordering re-mapping. DESIGN.md §3 walks through the flow
+// step by step; §5a records the refinements discovered while reproducing
+// it.
+//
+// The package is the composition root: it wires internal/nn networks onto
+// internal/mapping crossbar stores, drives internal/detect and
+// internal/remap from the maintenance phase, and owns the two
+// whole-session protocols layered on top of training — checkpoint/resume
+// (checkpoint.go, DESIGN.md §7) and run telemetry (DESIGN.md §9). A
+// training session is spanned as train → iter → maintain →
+// detect/prune_score/remap/prune_install in the journal, and the
+// "core.*" counters reconcile exactly with the RunResult totals; see
+// OBSERVABILITY.md for reading a journal.
+//
+// Everything here is deterministic in the DESIGN.md §6 sense: a session is
+// a pure function of (model build options, train config, seed), which is
+// what makes byte-identical resume and golden-pinned accuracy curves
+// possible.
+package core

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rramft/internal/dataset"
+	"rramft/internal/detect"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/obs"
+	"rramft/internal/par"
+	"rramft/internal/remap"
+	"rramft/internal/rram"
+	"rramft/internal/testkit"
+	"rramft/internal/train"
+)
+
+// journalLine mirrors the obs event wire format for decoding in tests.
+type journalLine struct {
+	Ev       string             `json:"ev"`
+	T        int64              `json:"t_ns"`
+	Name     string             `json:"name"`
+	Path     string             `json:"path"`
+	DurNs    int64              `json:"dur_ns"`
+	Fields   map[string]float64 `json:"fields"`
+	Counters map[string]int64   `json:"counters"`
+}
+
+func decodeJournal(t *testing.T, data []byte) []journalLine {
+	t.Helper()
+	var lines []journalLine
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var l journalLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// journalSession builds the same miniature fault-tolerant session as the
+// core golden test, but even shorter, for journal-focused tests.
+func journalSession(seed int64, iters int) (*Model, *dataset.Dataset, TrainConfig) {
+	dcfg := dataset.MNISTLike(seed)
+	dcfg.TrainN = 120
+	dcfg.TestN = 40
+	ds := dataset.Generate(dcfg)
+
+	opts := DefaultBuildOptions(seed)
+	opts.OnRCS = true
+	opts.InitialFaultFrac = 0.1
+	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{
+		Levels:    16,
+		WriteStd:  0.02,
+		Endurance: fault.EnduranceModel{Mean: 60, Std: 15, WearSA0Prob: 0.5},
+	}}
+	m := BuildMLP(ds.InSize(), []int{12}, 10, opts)
+
+	cfg := DefaultTrainConfig(seed, iters)
+	cfg.BatchSize = 8
+	d := detect.DefaultConfig()
+	cfg.Detect = &d
+	cfg.DetectEvery = iters / 2
+	cfg.OfflineDetect = true
+	cfg.Threshold = train.NewThreshold()
+	cfg.Remap = remap.HillClimb{}
+	return m, ds, cfg
+}
+
+// TestTrainingJournalReconcilesWithRunResult is the ISSUE's acceptance
+// check: a run journal must be self-consistent with the RunResult the same
+// session returns — the rram.writes / rram.wearouts counter movement
+// between the session_start and session_end counters events equals
+// res.Writes / res.WearOuts exactly, and the "result" point event carries
+// the same totals.
+func TestTrainingJournalReconcilesWithRunResult(t *testing.T) {
+	m, ds, cfg := journalSession(11, 20)
+
+	var buf bytes.Buffer
+	j := obs.Start(&buf, obs.Header{Cmd: "core-test", Seed: 11})
+	res := Train(m, ds, cfg)
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+
+	lines := decodeJournal(t, buf.Bytes())
+	var start, end map[string]int64
+	var result map[string]float64
+	paths := map[string]bool{}
+	for _, l := range lines {
+		switch {
+		case l.Ev == "counters" && l.Name == "session_start":
+			start = l.Counters
+		case l.Ev == "counters" && l.Name == "session_end":
+			end = l.Counters
+		case l.Ev == "point" && l.Name == "result":
+			result = l.Fields
+		case l.Ev == "span":
+			paths[l.Path] = true
+		}
+	}
+	if end == nil || result == nil {
+		t.Fatal("journal is missing the session_end counters or result event")
+	}
+	// start can be all-zero-deltas (omitted keys); missing key reads as 0.
+	if got := end["rram.writes"] - start["rram.writes"]; got != res.Writes {
+		t.Errorf("journal write delta %d != RunResult.Writes %d", got, res.Writes)
+	}
+	if got := end["rram.wearouts"] - start["rram.wearouts"]; got != res.WearOuts {
+		t.Errorf("journal wearout delta %d != RunResult.WearOuts %d", got, res.WearOuts)
+	}
+	if got := int64(result["writes"]); got != res.Writes {
+		t.Errorf("result event writes %d != RunResult.Writes %d", got, res.Writes)
+	}
+	if got := int64(result["wearouts"]); got != res.WearOuts {
+		t.Errorf("result event wearouts %d != RunResult.WearOuts %d", got, res.WearOuts)
+	}
+	if got := end["mapping.remap_writes"] - start["mapping.remap_writes"]; got != res.RemapWrites {
+		t.Errorf("journal remap-write delta %d != RunResult.RemapWrites %d", got, res.RemapWrites)
+	}
+
+	// The span tree must cover the full training control path.
+	for _, want := range []string{
+		"train",
+		"train/iter",
+		"train/maintain",      // the offline pre-training phase
+		"train/iter/maintain", // the on-line phases
+		"train/iter/maintain/detect",
+		"train/iter/maintain/prune_score",
+		"train/iter/maintain/prune_install",
+	} {
+		if !paths[want] {
+			t.Errorf("journal has no span with path %q", want)
+		}
+	}
+}
+
+// TestGoldenTrainingJournal pins the complete telemetry journal of a
+// fixed-seed session byte for byte: with a deterministic clock and the
+// serial worker path (RRAMFT_WORKERS=1; the par counters depend on the
+// machine's core count otherwise), every event — span paths, durations,
+// eval points, counter deltas — is a pure function of the seed.
+//
+// Regenerate after intentional telemetry or training changes with
+//
+//	RRAMFT_UPDATE_GOLDEN=1 go test ./internal/core/ -run GoldenTrainingJournal
+func TestGoldenTrainingJournal(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	m, ds, cfg := journalSession(11, 10)
+
+	var buf bytes.Buffer
+	var tick int64
+	clock := func() int64 { tick += 1000; return tick }
+	j := obs.StartWithClock(&buf, obs.Header{
+		Cmd: "core-test", Seed: 11,
+		Config: map[string]string{"iters": "10", "net": "mlp-12"},
+	}, clock)
+	Train(m, ds, cfg)
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+
+	var lines []json.RawMessage
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		lines = append(lines, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	testkit.Golden(t, "testdata/golden/train_journal.json", struct {
+		Lines []json.RawMessage
+	}{lines})
+}

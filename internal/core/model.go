@@ -1,8 +1,3 @@
-// Package core implements the paper's complete fault-tolerant on-line
-// training flow (Fig. 2): forward/backward propagation on the RRAM
-// computing system, threshold training after back-propagation, and a
-// periodic maintenance phase of on-line fault detection, pruning and
-// neuron re-ordering re-mapping.
 package core
 
 import (

@@ -10,10 +10,24 @@ import (
 	"rramft/internal/mapping"
 	"rramft/internal/metrics"
 	"rramft/internal/nn"
+	"rramft/internal/obs"
 	"rramft/internal/prune"
 	"rramft/internal/remap"
 	"rramft/internal/train"
 	"rramft/internal/xrand"
+)
+
+// Registry counters for the training loop (DESIGN.md §9): iteration and
+// maintenance-phase progress, plus the aggregated detection confusion so
+// the journal shows detection quality (the paper's precision/recall
+// argument, §6.1) accumulating phase over phase. Bumped only when
+// obs.MetricsEnabled().
+var (
+	cIters          = obs.NewCounter("core.train_iters")
+	cMaintainPhases = obs.NewCounter("core.maintain_phases")
+	cDetectTP       = obs.NewCounter("core.detect_tp")
+	cDetectFP       = obs.NewCounter("core.detect_fp")
+	cDetectFN       = obs.NewCounter("core.detect_fn")
 )
 
 // TrainConfig controls one fault-tolerant training session.
@@ -177,8 +191,15 @@ func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
 }
 
 // run executes the training loop from the session's current position to
-// cfg.Iters, checkpointing along the way when configured.
+// cfg.Iters, checkpointing along the way when configured. When a journal
+// is active it receives the span tree (train → iter → maintain →
+// detect/remap/prune), an eval point per accuracy sample, and counters
+// events bracketing the session so journal deltas reconcile exactly with
+// the RunResult totals (DESIGN.md §9).
 func (s *session) run() *RunResult {
+	runSpan := obs.Span("train")
+	defer runSpan.End()
+	obs.EmitCounters("session_start")
 	cfg := s.cfg
 	m, ds, res := s.m, s.ds, s.res
 	evalEvery := cfg.EvalEvery
@@ -197,11 +218,15 @@ func (s *session) run() *RunResult {
 	}
 
 	for it := s.nextIter; it <= cfg.Iters; it++ {
+		itSpan := obs.Span("iter")
 		bx, by := s.batcher.Next()
 		s.loss.Loss(m.Net.Forward(bx), by)
 		m.Net.ZeroGrads()
 		m.Net.Backward(s.loss.Grad(by))
 		s.opt.Step(m.Net.Params())
+		if obs.MetricsEnabled() {
+			cIters.Inc()
+		}
 
 		if cfg.Schedule != nil {
 			s.opt.LR = cfg.Schedule.LR(it)
@@ -220,6 +245,13 @@ func (s *session) run() *RunResult {
 			if cfg.Log != nil {
 				fmt.Fprintf(cfg.Log, "iter %d: acc %.4f faults %.3f\n", it, acc, m.FaultFraction())
 			}
+			if obs.Enabled() {
+				obs.Emit("eval", map[string]float64{
+					"iter":       float64(it),
+					"acc":        acc,
+					"fault_frac": m.FaultFraction(),
+				})
+			}
 		}
 
 		if cfg.Detect != nil && cfg.DetectEvery > 0 && it%cfg.DetectEvery == 0 {
@@ -231,10 +263,13 @@ func (s *session) run() *RunResult {
 		// Checkpoint after everything the iteration does (update, eval,
 		// maintenance), so a resume re-enters the loop exactly at it+1.
 		if cfg.CheckpointEvery > 0 && cfg.CheckpointPath != "" && it%cfg.CheckpointEvery == 0 {
+			ckSpan := obs.Span("checkpoint")
 			if err := SaveCheckpoint(cfg.CheckpointPath, s.checkpoint(it+1)); err != nil {
 				panic(fmt.Sprintf("core: writing checkpoint: %v", err))
 			}
+			ckSpan.End()
 		}
+		itSpan.End()
 	}
 
 	endStats := m.HardwareStats()
@@ -243,6 +278,18 @@ func (s *session) run() *RunResult {
 	res.FaultFractionEnd = m.FaultFraction()
 	res.PeakAcc = res.Curve.MaxY()
 	res.FinalAcc = res.Curve.FinalY()
+	if obs.Enabled() {
+		obs.Emit("result", map[string]float64{
+			"writes":           float64(res.Writes),
+			"wearouts":         float64(res.WearOuts),
+			"remap_writes":     float64(res.RemapWrites),
+			"detection_phases": float64(res.DetectionPhases),
+			"fault_frac_end":   res.FaultFractionEnd,
+			"peak_acc":         res.PeakAcc,
+			"final_acc":        res.FinalAcc,
+		})
+	}
+	obs.EmitCounters("session_end")
 	return res
 }
 
@@ -252,21 +299,44 @@ func (s *session) run() *RunResult {
 // pruning — pruning the full target in one shot mid-training permanently
 // cripples the network, since pruned weights are frozen).
 func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.Stream) {
+	mSpan := obs.Span("maintain")
+	defer mSpan.End()
+	if obs.MetricsEnabled() {
+		cMaintainPhases.Inc()
+	}
 	// Phase 1: update the fault-free/faulty status of RRAM cells.
+	dSpan := obs.Span("detect")
 	for _, b := range m.RCSBindings() {
 		if cfg.OracleDetection {
 			b.Store.SetEstimatedFaults(b.Store.Crossbar().FaultMap())
 			continue
 		}
 		dres := b.Store.RunDetection(*cfg.Detect)
-		res.DetectionScore.Add(detect.Score(dres.Pred, b.Store.Crossbar().FaultMap()))
+		score := detect.Score(dres.Pred, b.Store.Crossbar().FaultMap())
+		res.DetectionScore.Add(score)
+		if obs.MetricsEnabled() {
+			cDetectTP.Add(int64(score.TP))
+			cDetectFP.Add(int64(score.FP))
+			cDetectFN.Add(int64(score.FN))
+		}
+		if obs.Enabled() {
+			obs.Emit("detect_score", map[string]float64{
+				"phase":  float64(phase),
+				"tp":     float64(score.TP),
+				"fp":     float64(score.FP),
+				"fn":     float64(score.FN),
+				"cycles": float64(dres.CyclesTotal),
+			})
+		}
 	}
+	dSpan.End()
 	// Phase 2: compute the *prospective* pruning distribution P from the
 	// current effective weights at a ramped sparsity target (½, ¾, ⅞, …
 	// of the final target across phases). Unless disabled, detected-
 	// faulty cells get score zero — an SA1 cell reads ±WMax no matter
 	// how useless the weight is, so raw read magnitudes are artifacts.
 	ramp := 1 - math.Pow(0.5, float64(phase))
+	psSpan := obs.Span("prune_score")
 	masks := map[*StoreBinding]*prune.Mask{}
 	for _, b := range m.RCSBindings() {
 		if b.Sparsity <= 0 {
@@ -274,11 +344,13 @@ func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.S
 		}
 		masks[b] = pruningMask(b, cfg, ramp)
 	}
+	psSpan.End()
 
 	// Phase 3: re-order neurons boundary by boundary against the
 	// prospective masks, moving kept weights off (estimated) faulty
 	// cells and parking prunable weights on them.
 	if cfg.Remap != nil && (cfg.RemapPhases == 0 || phase <= cfg.RemapPhases) {
+		rSpan := obs.Span("remap")
 		for _, bd := range m.Boundaries {
 			lb, rb := m.Bindings[bd.Left], m.Bindings[bd.Right]
 			left, right := lb.Store, rb.Store
@@ -310,6 +382,7 @@ func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.S
 			res.RemapWrites += int64(left.SetColPerm(perm))
 			res.RemapWrites += int64(right.SetRowPerm(perm))
 		}
+		rSpan.End()
 	}
 
 	// Phase 4: recompute and install the final pruning masks under the
@@ -318,6 +391,8 @@ func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.S
 	// neutralized by the disconnect. Masks are monotone across phases
 	// (pruned weights stay pruned, Han-style), which keeps noisy
 	// detection estimates from churning the mask phase over phase.
+	piSpan := obs.Span("prune_install")
+	defer piSpan.End()
 	for _, b := range m.RCSBindings() {
 		if b.Sparsity <= 0 {
 			continue

@@ -30,7 +30,17 @@ import (
 
 	"rramft/internal/fault"
 	"rramft/internal/metrics"
+	"rramft/internal/obs"
 	"rramft/internal/rram"
+)
+
+// Registry counters for the paper's test-time cost metric (§4.2, DESIGN.md
+// §9): detection phases run and total comparison cycles consumed, so a
+// journal shows the detection overhead accumulating against write traffic
+// during a run. Bumped only when obs.MetricsEnabled().
+var (
+	cRuns   = obs.NewCounter("detect.runs")
+	cCycles = obs.NewCounter("detect.cycles")
 )
 
 // Config parameterizes one detection phase.
@@ -138,6 +148,10 @@ func Run(cb *rram.Crossbar, cfg Config) *Result {
 
 	res.TestTime = maxInt(t0, t1)
 	res.CyclesTotal = t0 + t1
+	if obs.MetricsEnabled() {
+		cRuns.Inc()
+		cCycles.Add(int64(res.CyclesTotal))
+	}
 	return res
 }
 

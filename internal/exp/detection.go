@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
 	"rramft/internal/detect"
 	"rramft/internal/fault"
@@ -156,12 +157,23 @@ func SelectedCellTesting(scale Scale, seed int64) *Report {
 		allTime.Append(x, float64(r.allT))
 		selTime.Append(x, float64(r.selT))
 	}
+	// avg skips undefined (NaN) precision values per the metrics.Confusion
+	// contract: a trial where the detector predicted nothing contributes no
+	// precision sample rather than dragging the mean toward zero.
 	avg := func(s *metrics.Series) float64 {
 		var t float64
+		n := 0
 		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
 			t += v
+			n++
 		}
-		return t / float64(len(s.Y))
+		if n == 0 {
+			return math.NaN()
+		}
+		return t / float64(n)
 	}
 	tab := &metrics.Table{
 		Title:   "§6.3 — precision: all-cell vs selected-cell testing",

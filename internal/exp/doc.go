@@ -1,0 +1,13 @@
+// Package exp contains one generator per experiment in the paper's
+// evaluation: each returns a Report whose tables print the same
+// rows/series the paper's figures plot. DESIGN.md §4 is the index mapping
+// every figure and claim of the paper to its generator here, and
+// EXPERIMENTS.md records the reproduced numbers next to the paper's.
+//
+// The generators are shared by cmd/rramft-bench (paper scale with -full,
+// reduced scale otherwise) and the repository-root benchmarks (quick
+// scale). Every generator is a pure function of (Scale, seed): all
+// randomness flows through xrand streams derived from the seed, so a
+// report is bit-reproducible and its tables can be pinned by golden tests
+// (DESIGN.md §8).
+package exp

@@ -1,8 +1,3 @@
-// Package exp contains one generator per experiment in the paper's
-// evaluation (DESIGN.md §4): each returns a Report whose tables print the
-// same rows/series the paper's figures plot. The generators are shared by
-// cmd/rramft-bench (full scale) and the repository-root benchmarks (quick
-// scale).
 package exp
 
 import (

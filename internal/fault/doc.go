@@ -1,0 +1,18 @@
+// Package fault models RRAM hard faults: stuck-at-0 / stuck-at-1 fault
+// kinds, spatial distributions of fabrication defects (uniform and
+// Gaussian-cluster, the two distributions the paper evaluates), and the
+// Gaussian write-endurance model that creates new hard faults during
+// training (DESIGN.md §3).
+//
+// Convention (following the paper): SA0 is stuck at the high-resistance
+// state, i.e. the cell conductance is stuck at zero — the cell reads as a
+// zero weight. SA1 is stuck at the low-resistance state — the cell reads
+// at the maximum conductance level. The two polarities matter unequally
+// downstream: re-mapping (internal/remap) can hide SA0 cells under pruned
+// weights, while SA1 cells always distort the column current.
+//
+// The endurance model is the source of the dynamic faults that on-line
+// detection (internal/detect) exists to catch: each cell draws a lifetime
+// in writes, and the cell wears out into SA0 or SA1 once its write count
+// (tracked by internal/rram) exceeds it.
+package fault

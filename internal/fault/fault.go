@@ -1,13 +1,3 @@
-// Package fault models RRAM hard faults: stuck-at-0 / stuck-at-1 fault
-// kinds, spatial distributions of fabrication defects (uniform and
-// Gaussian-cluster, the two distributions the paper evaluates), and the
-// Gaussian write-endurance model that creates new hard faults during
-// training.
-//
-// Convention (following the paper): SA0 is stuck at the high-resistance
-// state, i.e. the cell conductance is stuck at zero — the cell reads as a
-// zero weight. SA1 is stuck at the low-resistance state — the cell reads at
-// the maximum conductance level.
 package fault
 
 import "fmt"

@@ -30,11 +30,24 @@ import (
 
 	"rramft/internal/detect"
 	"rramft/internal/fault"
+	"rramft/internal/obs"
 	"rramft/internal/prune"
 	"rramft/internal/remap"
 	"rramft/internal/rram"
 	"rramft/internal/tensor"
 	"rramft/internal/xrand"
+)
+
+// Registry counters for the maintenance-phase overheads the paper prices
+// in §5.2–§6.4 (DESIGN.md §9): how often re-mapping installs a new
+// permutation, how many re-programming writes the moves cost, and how
+// many cells pruning drives to zero conductance. Bumped only when
+// obs.MetricsEnabled().
+var (
+	cRowPermInstalls = obs.NewCounter("mapping.row_perm_installs")
+	cColPermInstalls = obs.NewCounter("mapping.col_perm_installs")
+	cRemapWrites     = obs.NewCounter("mapping.remap_writes")
+	cPruneWrites     = obs.NewCounter("mapping.prune_disconnect_writes")
 )
 
 // StoreConfig parameterizes a CrossbarStore.
@@ -228,6 +241,9 @@ func (s *CrossbarStore) SetPruneMask(m *prune.Mask) {
 			s.keep[li] = m.Keep[li]
 			if newly && s.cb.ProgrammedLevel(pr, s.colPerm[j]) > tol {
 				s.cb.Write(pr, s.colPerm[j], 0)
+				if obs.MetricsEnabled() {
+					cPruneWrites.Inc()
+				}
 			}
 		}
 	}
@@ -326,6 +342,9 @@ func (s *CrossbarStore) SetColPerm(perm []int) int {
 	if len(perm) != s.cols || !remap.IsPermutation(perm) {
 		panic(fmt.Sprintf("mapping: invalid column permutation for %s", s.name))
 	}
+	if obs.MetricsEnabled() {
+		cColPermInstalls.Inc()
+	}
 	eff := s.snapshotEffective()
 	copy(s.colPerm, perm)
 	return s.reprogram(eff)
@@ -335,6 +354,9 @@ func (s *CrossbarStore) SetColPerm(perm []int) int {
 func (s *CrossbarStore) SetRowPerm(perm []int) int {
 	if len(perm) != s.rows || !remap.IsPermutation(perm) {
 		panic(fmt.Sprintf("mapping: invalid row permutation for %s", s.name))
+	}
+	if obs.MetricsEnabled() {
+		cRowPermInstalls.Inc()
 	}
 	eff := s.snapshotEffective()
 	copy(s.rowPerm, perm)
@@ -380,6 +402,9 @@ func (s *CrossbarStore) reprogram(eff []float64) int {
 				s.sign[li] = 1
 			}
 		}
+	}
+	if writes > 0 && obs.MetricsEnabled() {
+		cRemapWrites.Add(int64(writes))
 	}
 	return writes
 }

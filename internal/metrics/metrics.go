@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -24,25 +25,39 @@ func (c *Confusion) Add(o Confusion) {
 
 // Precision returns TP/(TP+FP), the paper's false-positive metric:
 // "loss of precision results in unnecessary hardware overhead".
+//
+// With no predicted positives (TP+FP = 0) precision is undefined and NaN
+// is returned — a detector that predicted nothing is not a perfectly
+// precise detector, and it is not a maximally imprecise one either.
+// Callers aggregating over runs should skip NaN values (math.IsNaN)
+// rather than average them in as zeros.
 func (c Confusion) Precision() float64 {
 	if c.TP+c.FP == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(c.TP) / float64(c.TP+c.FP)
 }
 
 // Recall returns TP/(TP+FN), the paper's test-escape metric:
 // "higher the recall, lower is the test escape".
+//
+// With no actual positives (TP+FN = 0, a fault-free crossbar) recall is
+// undefined and NaN is returned, under the same contract as Precision.
 func (c Confusion) Recall() float64 {
 	if c.TP+c.FN == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(c.TP) / float64(c.TP+c.FN)
 }
 
-// F1 returns the harmonic mean of precision and recall.
+// F1 returns the harmonic mean of precision and recall. It is NaN when
+// either component is undefined, and 0 when both are defined but zero
+// (the harmonic mean's limit as p+r → 0).
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) {
+		return math.NaN()
+	}
 	if p+r == 0 {
 		return 0
 	}

@@ -20,10 +20,40 @@ func TestConfusionMetrics(t *testing.T) {
 	}
 }
 
+// The degenerate denominators are *undefined*, not zero: a detector that
+// predicted nothing has no precision, and a fault-free crossbar admits no
+// recall. Returning 0 here silently dragged averaged sweeps toward zero.
 func TestConfusionDegenerate(t *testing.T) {
 	var c Confusion
-	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
-		t.Error("empty confusion must yield zero metrics, not NaN")
+	if !math.IsNaN(c.Precision()) || !math.IsNaN(c.Recall()) || !math.IsNaN(c.F1()) {
+		t.Errorf("empty confusion must yield NaN metrics, got P=%v R=%v F1=%v",
+			c.Precision(), c.Recall(), c.F1())
+	}
+
+	// One undefined component makes F1 undefined too.
+	noPred := Confusion{FN: 3, TN: 7} // nothing predicted: P undefined, R = 0
+	if !math.IsNaN(noPred.Precision()) {
+		t.Errorf("Precision with TP+FP=0 = %v, want NaN", noPred.Precision())
+	}
+	if got := noPred.Recall(); got != 0 {
+		t.Errorf("Recall = %v, want 0", got)
+	}
+	if !math.IsNaN(noPred.F1()) {
+		t.Errorf("F1 with undefined precision = %v, want NaN", noPred.F1())
+	}
+
+	noFaults := Confusion{FP: 2, TN: 8} // fault-free truth: R undefined, P = 0
+	if got := noFaults.Precision(); got != 0 {
+		t.Errorf("Precision = %v, want 0", got)
+	}
+	if !math.IsNaN(noFaults.Recall()) {
+		t.Errorf("Recall with TP+FN=0 = %v, want NaN", noFaults.Recall())
+	}
+
+	// Both components defined but zero: F1 is 0, not NaN.
+	bothZero := Confusion{FP: 1, FN: 1}
+	if got := bothZero.F1(); got != 0 {
+		t.Errorf("F1 with P=R=0 = %v, want 0", got)
 	}
 }
 

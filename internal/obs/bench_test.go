@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the no-journal fast path every
+// instrumentation site pays when telemetry is off: two atomic loads, no
+// allocation (the ≤2% hot-path budget of DESIGN.md §9 rests on this).
+func BenchmarkSpanDisabled(b *testing.B) {
+	if Enabled() {
+		b.Fatal("benchmark requires no active journal")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Span("hot")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled measures a full span round trip against an active
+// journal writing to io.Discard (lock, stack push/pop, JSON encode).
+func BenchmarkSpanEnabled(b *testing.B) {
+	j := Start(io.Discard, Header{Cmd: "bench"})
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Span("hot")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterInc measures the per-event cost instrumented hot paths
+// pay once MetricsEnabled is true.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures one histogram sample.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar.Publish panics on a
+// duplicate name, and ServeDebug may be called more than once in tests).
+var publishOnce sync.Once
+
+// debugVars renders the default registry for /debug/vars: counters and
+// gauges by name, histograms expanded into <name>.count / <name>.sum /
+// <name>.buckets.
+func debugVars() any {
+	out := map[string]any{}
+	for name, v := range std.Snapshot() {
+		out[name] = v
+	}
+	for _, h := range std.Histograms() {
+		out[h.Name()+".count"] = h.Count()
+		out[h.Name()+".sum"] = h.Sum()
+		out[h.Name()+".buckets"] = h.Buckets()
+	}
+	return out
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060")
+// exposing the standard pprof profile endpoints under /debug/pprof/ and
+// the process's expvar page — including the metric registry under the
+// "rramft" key — at /debug/vars. It enables metric collection, returns
+// the bound address (useful with a ":0" addr) and serves until the
+// process exits. The endpoints are opt-in: nothing listens unless a
+// command was started with its -debug-addr flag.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	EnableMetrics()
+	publishOnce.Do(func() {
+		expvar.Publish("rramft", expvar.Func(debugVars))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		// The server lives for the process; Serve only returns on
+		// listener failure, which there is no way to surface mid-run.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"rramft/internal/testkit"
+)
+
+// TestGoldenJournal pins the journal wire format: a scripted event
+// sequence under a deterministic clock must produce byte-identical JSONL
+// forever. Any change to the event schema, field order, span-path
+// construction or delta arithmetic shows up here as a diff — regenerate
+// with RRAMFT_UPDATE_GOLDEN=1 after reviewing it like a format change,
+// because old journals become un-diffable against new ones.
+func TestGoldenJournal(t *testing.T) {
+	c := NewCounter("t.golden_writes")
+	g := NewGauge("t.golden_depth")
+
+	var buf bytes.Buffer
+	var tick int64
+	j := StartWithClock(&buf, Header{
+		Cmd:  "golden",
+		Seed: 1,
+		Config: map[string]string{
+			"iters": "2",
+			"net":   "mlp",
+		},
+	}, func() int64 { tick += 1000; return tick })
+
+	run := Span("train")
+	for iter := 1; iter <= 2; iter++ {
+		it := Span("iter")
+		c.Add(10)
+		Emit("eval", map[string]float64{"iter": float64(iter), "acc": 0.25 * float64(iter)})
+		if iter == 2 {
+			m := Span("maintain")
+			d := Span("detect")
+			c.Add(3)
+			d.End()
+			g.Set(4)
+			EmitCounters("maintain")
+			g.Set(0)
+			m.End()
+		}
+		it.End()
+	}
+	run.End()
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	testkit.Golden(t, "testdata/golden/journal.json", struct {
+		Lines []map[string]any
+	}{parseLines(t, buf.String())})
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header identifies a run: it is the first line of every journal, so a
+// journal is replayable (same command + seed + config reproduces the run
+// bit for bit) and two journals are diffable once their headers match.
+type Header struct {
+	// Cmd names the producing command (rramft-train, rramft-bench, …).
+	Cmd string `json:"cmd"`
+	// Seed is the run's base random seed.
+	Seed int64 `json:"seed"`
+	// Config carries the effective flag/configuration values as strings,
+	// in whatever granularity the command considers reproducible.
+	Config map[string]string `json:"config,omitempty"`
+}
+
+// event is one journal line. Field order is fixed by this struct, and
+// map-valued fields marshal with sorted keys, so equal runs produce
+// byte-equal journals (timestamps aside).
+type event struct {
+	Ev       string             `json:"ev"`
+	T        int64              `json:"t_ns"`
+	Name     string             `json:"name,omitempty"`
+	Path     string             `json:"path,omitempty"`
+	DurNs    int64              `json:"dur_ns,omitempty"`
+	Fields   map[string]float64 `json:"fields,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Header   *Header            `json:"header,omitempty"`
+}
+
+// Journal is an append-only JSONL run log. Events carry a monotonic
+// timestamp (nanoseconds since the journal started); counters events
+// carry registry deltas since the journal started, so the journal is a
+// self-contained account of the run's hardware traffic no matter what ran
+// in the process beforehand. All methods are safe for concurrent use, but
+// the span stack models the single-goroutine training control path — see
+// Span.
+type Journal struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	clock  func() int64
+	base   map[string]int64
+	stack  []string
+	closed bool
+	err    error
+}
+
+// active is the process's current journal (at most one).
+var active atomic.Pointer[Journal]
+
+// Enabled reports whether a journal is currently active.
+func Enabled() bool { return active.Load() != nil }
+
+// Start begins a journal on w and installs it as the process's active
+// journal. It enables metric collection, captures the counter baseline
+// for delta reporting and writes the header line. Starting a journal
+// while one is active panics: the journal models the one training control
+// path of the process.
+func Start(w io.Writer, h Header) *Journal {
+	start := time.Now()
+	return startWith(w, nil, h, func() int64 { return time.Since(start).Nanoseconds() })
+}
+
+// StartWithClock is Start with an injected clock (nanoseconds since
+// journal start). Tests use a deterministic clock to make journal bytes
+// reproducible; the clock must be non-decreasing.
+func StartWithClock(w io.Writer, h Header, clock func() int64) *Journal {
+	return startWith(w, nil, h, clock)
+}
+
+// Open creates (truncating) the journal file at path and starts a journal
+// on it; Close closes the file.
+func Open(path string, h Header) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating journal: %w", err)
+	}
+	start := time.Now()
+	return startWith(f, f, h, func() int64 { return time.Since(start).Nanoseconds() }), nil
+}
+
+func startWith(w io.Writer, closer io.Closer, h Header, clock func() int64) *Journal {
+	EnableMetrics()
+	j := &Journal{
+		w:      bufio.NewWriter(w),
+		closer: closer,
+		clock:  clock,
+		base:   std.Snapshot(),
+	}
+	if !active.CompareAndSwap(nil, j) {
+		panic("obs: a journal is already active; Close it before starting another")
+	}
+	j.emit(event{Ev: "start", T: j.clock(), Header: &h})
+	return j
+}
+
+// Close emits the final counters ("end") event, flushes, closes the
+// underlying file when the journal owns one, deactivates the journal and
+// returns the first write error encountered over its lifetime. Close is
+// idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		defer j.mu.Unlock()
+		return j.err
+	}
+	j.emitLocked(event{Ev: "end", T: j.clock(), Counters: j.deltaLocked()})
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if j.closer != nil {
+		if err := j.closer.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	j.closed = true
+	err := j.err
+	j.mu.Unlock()
+	active.CompareAndSwap(j, nil)
+	return err
+}
+
+// emit writes one event line; errors are latched into j.err rather than
+// interrupting the run (telemetry must never kill training).
+func (j *Journal) emit(ev event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(ev)
+}
+
+func (j *Journal) emitLocked(ev event) {
+	if j.closed {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		if j.err == nil {
+			j.err = err
+		}
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// deltaLocked returns the nonzero counter/gauge movements since the
+// journal started. Zero deltas are omitted so a journal's content depends
+// only on what the run actually did, not on which packages happen to have
+// registered metrics. Callers hold j.mu.
+func (j *Journal) deltaLocked() map[string]int64 {
+	cur := std.Snapshot()
+	out := make(map[string]int64, len(cur))
+	for name, v := range cur {
+		if d := v - j.base[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// SpanHandle is an open span returned by Span. The zero value (no active
+// journal) is a valid no-op, so instrumentation sites need no nil checks.
+type SpanHandle struct {
+	j     *Journal
+	path  string
+	start int64
+	depth int
+}
+
+// Span opens a named span nested under the currently open spans and
+// returns its handle; the caller must End it. Spans model the
+// single-goroutine training control path (train → iter → maintain →
+// detect/prune/remap): opening spans concurrently from several goroutines
+// is safe (no data race) but interleaves their nesting paths
+// meaninglessly — use counters or histograms for parallel work instead.
+// With no active journal this is two atomic loads and no allocation.
+func Span(name string) SpanHandle {
+	j := active.Load()
+	if j == nil {
+		return SpanHandle{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return SpanHandle{}
+	}
+	j.stack = append(j.stack, name)
+	return SpanHandle{
+		j:     j,
+		path:  strings.Join(j.stack, "/"),
+		start: j.clock(),
+		depth: len(j.stack),
+	}
+}
+
+// End closes the span, emitting one "span" event with the span's full
+// nesting path and duration. Ending a no-op handle does nothing; ending
+// out of order unwinds the stack to this span's depth.
+func (s SpanHandle) End() {
+	if s.j == nil {
+		return
+	}
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if len(j.stack) >= s.depth {
+		j.stack = j.stack[:s.depth-1]
+	}
+	now := j.clock()
+	name := s.path
+	if i := strings.LastIndexByte(s.path, '/'); i >= 0 {
+		name = s.path[i+1:]
+	}
+	j.emitLocked(event{Ev: "span", T: now, Name: name, Path: s.path, DurNs: now - s.start})
+}
+
+// Emit writes a named point event with numeric fields (an accuracy
+// evaluation, a detection score). Non-finite values (NaN, ±Inf — e.g. an
+// undefined precision from metrics.Confusion) are dropped from the event,
+// since JSON cannot represent them; absence of a key means "undefined
+// here". No-op without an active journal; guard the call with Enabled()
+// when building the fields map is itself a cost.
+func Emit(name string, fields map[string]float64) {
+	j := active.Load()
+	if j == nil {
+		return
+	}
+	for k, v := range fields {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(fields, k)
+		}
+	}
+	j.emit(event{Ev: "point", T: j.clock(), Name: name, Fields: fields})
+}
+
+// EmitCounters writes a named counters event holding every counter and
+// gauge that moved since the journal started, as deltas against the
+// journal's baseline (for a gauge that rested at zero when the journal
+// started, the delta is simply its current value). No-op without an
+// active journal.
+func EmitCounters(name string) {
+	j := active.Load()
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(event{Ev: "counters", T: j.clock(), Name: name, Counters: j.deltaLocked()})
+}

@@ -1,16 +1,3 @@
-// Package par provides the deterministic fork-join primitives the hot
-// paths (tensor kernels, tiled crossbar operations, experiment fan-out)
-// use to spread work across CPU cores.
-//
-// Determinism is the design constraint: callers must arrange the work so
-// that every output element is computed entirely within one block from the
-// block's indices and read-only captures alone. Under that contract the
-// result is byte-identical for every worker count — including 1 — because
-// partitioning only changes *which goroutine* runs a block, never the
-// order of floating-point accumulation inside an output element. Anything
-// stochastic must draw from a stream confined to its block (derive one per
-// repetition with xrand.Derive, or one per crossbar tile at construction),
-// so results stay independent of goroutine scheduling.
 package par
 
 import (
@@ -18,6 +5,21 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+
+	"rramft/internal/obs"
+)
+
+// Pool telemetry (DESIGN.md §9): gInflight is the number of dispatched
+// blocks (or Do functions) not yet finished — the pool's queue depth —
+// and hBlocksPerCall records how finely each parallel For call was
+// partitioned. Both touch only the parallel dispatch path, never the
+// serial fallback, and only when obs.MetricsEnabled(), so the
+// single-worker hot paths are unaffected.
+var (
+	cForCalls      = obs.NewCounter("par.for_calls")
+	cBlocks        = obs.NewCounter("par.blocks")
+	gInflight      = obs.NewGauge("par.inflight")
+	hBlocksPerCall = obs.NewHistogram("par.blocks_per_call")
 )
 
 // EnvWorkers is the environment variable that overrides the worker count.
@@ -67,6 +69,11 @@ func For(n, grain int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
+	track := obs.MetricsEnabled()
+	if track {
+		cForCalls.Inc()
+		hBlocksPerCall.Observe(int64((n + block - 1) / block))
+	}
 	var wg sync.WaitGroup
 	var once sync.Once
 	var panicked any
@@ -76,8 +83,15 @@ func For(n, grain int, fn func(start, end int)) {
 			end = n
 		}
 		wg.Add(1)
+		if track {
+			cBlocks.Inc()
+			gInflight.Add(1)
+		}
 		go func(s, e int) {
 			defer wg.Done()
+			if track {
+				defer gInflight.Add(-1)
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					once.Do(func() { panicked = r })
@@ -107,13 +121,20 @@ func Do(fns ...func()) {
 		}
 		return
 	}
+	track := obs.MetricsEnabled()
 	var wg sync.WaitGroup
 	var once sync.Once
 	var panicked any
 	for _, fn := range fns {
 		wg.Add(1)
+		if track {
+			gInflight.Add(1)
+		}
 		go func(f func()) {
 			defer wg.Done()
+			if track {
+				defer gInflight.Add(-1)
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					once.Do(func() { panicked = r })

@@ -1,0 +1,15 @@
+// Package prune implements magnitude-based network pruning (Han et al.,
+// which the paper's re-mapping step builds on): the smallest-magnitude
+// weights of a layer are fixed to zero, producing the pruning matrices P
+// whose zeros the re-mapping step (internal/remap) aligns with SA0 faults.
+//
+// Pruning here is a fault-tolerance device, not a compression device: the
+// paper's §5.2 observation is that a pruned-to-zero weight stored on a
+// stuck-at-0 cell is error-free, so the maintenance phase prunes each
+// layer to its Sparsity target and then searches for the neuron
+// permutation that maximizes that overlap (DESIGN.md §3, flow step 3).
+// Masks are recomputed each maintenance phase from the current weights;
+// the fault-aware scoring that prefers pruning weights already sitting on
+// faulty cells lives in internal/core's maintenance phase, on top of the
+// plain magnitude mask computed here.
+package prune

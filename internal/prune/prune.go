@@ -1,7 +1,3 @@
-// Package prune implements magnitude-based network pruning (Han et al. [8],
-// which the paper's re-mapping step builds on): the smallest-magnitude
-// weights of a layer are fixed to zero, producing the pruning matrices P
-// whose zeros the re-mapping step aligns with SA0 faults.
 package prune
 
 import (

@@ -1,0 +1,24 @@
+// Package remap implements the paper's fault-tolerant re-mapping method
+// (§5.2): re-ordering neurons so that the zeros of pruned weight matrices
+// land on stuck-at-0 RRAM cells.
+//
+// A neuron boundary between layer n and layer n+1 carries one permutation
+// π: logical neuron j occupies physical lane π(j), which simultaneously
+// permutes the columns of layer n's array and the rows of layer n+1's
+// array — keeping the inter-array wiring straight-through and avoiding the
+// M-to-M routing module the paper rules out.
+//
+// The paper's ErrorSet cost Dist(P,F) = |{(i,j,n) : p ≠ 0 ∧ f ≠ ∞}|
+// decomposes per boundary into an assignment cost: Conflicts.At(j, p) is
+// the number of errors incurred by placing neuron j on lane p, so
+// Dist = Σ_j Conflicts.At(j, π(j)). The paper optimizes with random neuron
+// exchanges (HillClimb) inside a genetic loop (Genetic); because the
+// per-boundary subproblem is a linear assignment problem, this package
+// also provides an exact Hungarian solver as an upper-bound ablation
+// (DESIGN.md §10 discusses when the heuristics stop short of it).
+//
+// Installing a found permutation is internal/mapping's job — and it is the
+// expensive part, paid in real crossbar writes that age the cells the
+// remap was trying to protect. The "mapping.remap_writes" counter
+// (DESIGN.md §9) makes that cost visible in run journals.
+package remap

@@ -17,8 +17,24 @@ import (
 	"math"
 
 	"rramft/internal/fault"
+	"rramft/internal/obs"
 	"rramft/internal/par"
 	"rramft/internal/xrand"
+)
+
+// Registry mirrors of the per-crossbar Stats counters (DESIGN.md §9).
+// The struct counters in Stats stay the source of truth for RunResult and
+// the checkpoint format; these process-wide counters exist so a journal
+// or the /debug/vars endpoint can watch write demand and wear-out
+// accumulate across every crossbar of the process while a run is live.
+// They are only bumped when obs.MetricsEnabled() — the telemetry-off hot
+// path pays one atomic load per site.
+var (
+	cWrites        = obs.NewCounter("rram.writes")
+	cWritesOnStuck = obs.NewCounter("rram.writes_on_stuck")
+	cWearOuts      = obs.NewCounter("rram.wearouts")
+	cMVMs          = obs.NewCounter("rram.mvms")
+	cSenses        = obs.NewCounter("rram.senses")
 )
 
 // Config parameterizes a crossbar.
@@ -205,13 +221,22 @@ func (cb *Crossbar) Write(r, c int, target float64) {
 	i := cb.idx(r, c)
 	if cb.kind[i].IsFault() {
 		cb.stats.AttemptedOnStuck++
+		if obs.MetricsEnabled() {
+			cWritesOnStuck.Inc()
+		}
 		return
 	}
 	cb.writes[i]++
 	cb.stats.Writes++
+	if obs.MetricsEnabled() {
+		cWrites.Inc()
+	}
 	if cb.writes[i] > cb.budget[i] {
 		cb.kind[i] = cb.cfg.Endurance.WearKind(cb.rng)
 		cb.stats.WearOuts++
+		if obs.MetricsEnabled() {
+			cWearOuts.Inc()
+		}
 		return
 	}
 	max := cb.MaxLevel()
@@ -240,6 +265,9 @@ func (cb *Crossbar) CellWrites(r, c int) float64 { return cb.writes[cb.idx(r, c)
 // analog sum of effective levels observed at every column output port —
 // one test cycle of the quiescent-voltage method (or one step of an MVM).
 func (cb *Crossbar) SenseColumns(rows []int) []float64 {
+	if obs.MetricsEnabled() {
+		cSenses.Inc()
+	}
 	out := make([]float64, cb.ColsN)
 	for _, r := range rows {
 		base := r * cb.ColsN
@@ -254,6 +282,9 @@ func (cb *Crossbar) SenseColumns(rows []int) []float64 {
 // SenseRows drives the given columns (the crossbar is usable in both
 // directions) and returns the analog sum at every row output port.
 func (cb *Crossbar) SenseRows(cols []int) []float64 {
+	if obs.MetricsEnabled() {
+		cSenses.Inc()
+	}
 	out := make([]float64, cb.RowsN)
 	for r := 0; r < cb.RowsN; r++ {
 		base := r * cb.ColsN
@@ -296,6 +327,9 @@ func (cb *Crossbar) effAt(i int) float64 {
 func (cb *Crossbar) MVM(in []float64) []float64 {
 	if len(in) != cb.RowsN {
 		panic(fmt.Sprintf("rram: MVM input length %d, want %d", len(in), cb.RowsN))
+	}
+	if obs.MetricsEnabled() {
+		cMVMs.Inc()
 	}
 	out := make([]float64, cb.ColsN)
 	par.For(cb.ColsN, mvmGrain(cb.RowsN), func(c0, c1 int) {

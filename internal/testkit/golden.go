@@ -9,6 +9,7 @@
 //	RRAMFT_UPDATE_GOLDEN=1 go test ./...
 //
 // or scripts/regen_golden.sh, and review the diff like any other code.
+
 package testkit
 
 import (

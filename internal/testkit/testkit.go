@@ -1,18 +1,3 @@
-// Package testkit is a stdlib-only property-testing toolkit for the
-// simulator: a seeded quickcheck-style runner (ForAll) over generator
-// handles (Gen) with size shrinking, plus golden-file helpers (golden.go)
-// that pin exact numerical results for fixed seeds.
-//
-// Determinism contract: every trial derives its RNG from the suite seed and
-// the trial index, so a property failure is reproducible from the two
-// numbers printed with it. Re-run a single failing case with
-//
-//	RRAMFT_PROP_SEED=<seed> RRAMFT_PROP_SIZE=<size> go test -run <TestName>
-//
-// Shrinking happens over the size parameter: when a trial fails at size s,
-// the runner replays the same trial seed at sizes 1, 2, … and reports the
-// smallest size that still fails, so the counterexample is as close to
-// minimal as the generators allow.
 package testkit
 
 import (

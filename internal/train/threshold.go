@@ -10,9 +10,22 @@
 package train
 
 import (
-	"rramft/internal/nn"
-	"rramft/internal/tensor"
 	"sort"
+
+	"rramft/internal/nn"
+	"rramft/internal/obs"
+	"rramft/internal/tensor"
+)
+
+// Registry counters mirroring Stats (DESIGN.md §9), so a journal shows
+// the write-filtering rate — the paper's §5.1 lifetime lever — evolving
+// during the run rather than only as an end-of-run ratio. They are
+// flushed once per FilterDelta call from local tallies (never per weight
+// entry) and only when obs.MetricsEnabled().
+var (
+	cProposed   = obs.NewCounter("train.updates_proposed")
+	cWritten    = obs.NewCounter("train.updates_written")
+	cSuppressed = obs.NewCounter("train.updates_suppressed")
 )
 
 // Threshold is an nn.UpdatePolicy implementing Algorithm 1. It maintains
@@ -151,37 +164,45 @@ func (t *Threshold) filterWithBase(p *nn.Param, delta *tensor.Dense, base float6
 		}
 		t.writeAmount[p] = wa
 	}
+	var proposed, written int64
 	if base == 0 {
 		// Nothing to compare against: count survivors and return.
 		for i, d := range delta.Data {
 			if d == 0 {
 				continue
 			}
-			t.stats.Proposed++
-			t.stats.Written++
+			proposed++
+			written++
 			wa.Data[i]++
 		}
-		return
-	}
-	var meanWrites float64
-	if t.Adaptive > 0 {
-		meanWrites = wa.Sum()/float64(len(wa.Data)) + 1
-	}
-	for i, d := range delta.Data {
-		if d == 0 {
-			continue
-		}
-		t.stats.Proposed++
-		thr := base
+	} else {
+		var meanWrites float64
 		if t.Adaptive > 0 {
-			thr = base * (1 + t.Adaptive*wa.Data[i]/meanWrites)
+			meanWrites = wa.Sum()/float64(len(wa.Data)) + 1
 		}
-		if abs(d) < thr {
-			delta.Data[i] = 0
-			continue
+		for i, d := range delta.Data {
+			if d == 0 {
+				continue
+			}
+			proposed++
+			thr := base
+			if t.Adaptive > 0 {
+				thr = base * (1 + t.Adaptive*wa.Data[i]/meanWrites)
+			}
+			if abs(d) < thr {
+				delta.Data[i] = 0
+				continue
+			}
+			wa.Data[i]++
+			written++
 		}
-		wa.Data[i]++
-		t.stats.Written++
+	}
+	t.stats.Proposed += proposed
+	t.stats.Written += written
+	if obs.MetricsEnabled() {
+		cProposed.Add(proposed)
+		cWritten.Add(written)
+		cSuppressed.Add(proposed - written)
 	}
 }
 

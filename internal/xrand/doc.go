@@ -1,0 +1,16 @@
+// Package xrand provides deterministic, splittable pseudo-random streams.
+//
+// Every stochastic component in this repository (datasets, fault
+// injection, write variance, optimizers) draws from an xrand.Stream seeded
+// from a single experiment seed, so entire experiments are
+// bit-reproducible. Streams are derived by hashing a parent seed with a
+// label, which keeps independent subsystems statistically decoupled even
+// when code is reordered — the foundation of the determinism contract in
+// DESIGN.md §6.
+//
+// A Stream is backed by a math/rand/v2 PCG source, whose 128-bit state is
+// fully exposed through MarshalBinary/UnmarshalBinary. That makes every
+// stream snapshotable: serialize it mid-sequence, restore it in a fresh
+// process, and the continuation is byte-identical — the property the
+// checkpoint/resume protocol in internal/core (DESIGN.md §7) is built on.
+package xrand

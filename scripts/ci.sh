@@ -27,6 +27,27 @@ fi
 
 go vet ./...
 go build ./...
+
+# Docs gates: every exported identifier in the observability layer and the
+# CLI helpers must carry a doc comment (these packages define the
+# user-facing telemetry contract, so undocumented API is a bug), and the
+# README CLI reference must match the binaries' own -help-md output.
+for pkg in internal/obs internal/cliutil; do
+    undocumented=$(awk '
+        /^\/\// { commented = 1; next }
+        /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+            if (!commented) print FILENAME ":" FNR ": " $0
+        }
+        { commented = 0 }
+    ' $(find "$pkg" -name '*.go' ! -name '*_test.go'))
+    if [ -n "$undocumented" ]; then
+        echo "docs gate: undocumented exported identifiers in $pkg:" >&2
+        echo "$undocumented" >&2
+        exit 1
+    fi
+done
+scripts/gen_cli_docs.sh -check
+
 go test ./...
 go test -race -short ./...
 

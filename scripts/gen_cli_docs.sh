@@ -1,0 +1,42 @@
+#!/bin/sh
+# Regenerates the README "CLI reference" section from the binaries' own
+# -help-md output, so the documented flag tables cannot drift from the
+# code. Usage:
+#
+#   scripts/gen_cli_docs.sh          # rewrite README.md in place
+#   scripts/gen_cli_docs.sh -check   # exit 1 if README.md is stale (CI)
+#
+# The section is delimited by the markers
+#   <!-- cli-reference:begin --> ... <!-- cli-reference:end -->
+set -eu
+cd "$(dirname "$0")/.."
+
+tables=$(mktemp)
+trap 'rm -f "$tables" "$tables.md"' EXIT
+for cmd in rramft-train rramft-detect rramft-bench; do
+    go run "./cmd/$cmd" -help-md >>"$tables"
+    printf '\n' >>"$tables"
+done
+
+awk -v tables="$tables" '
+    /<!-- cli-reference:begin -->/ {
+        print
+        while ((getline line < tables) > 0) print line
+        close(tables)
+        skipping = 1
+    }
+    /<!-- cli-reference:end -->/ { skipping = 0 }
+    !skipping { print }
+' README.md >"$tables.md"
+
+if [ "${1:-}" = "-check" ]; then
+    if ! cmp -s "$tables.md" README.md; then
+        echo "gen_cli_docs: README.md CLI reference is stale; run scripts/gen_cli_docs.sh" >&2
+        diff -u README.md "$tables.md" >&2 || true
+        exit 1
+    fi
+    echo "gen_cli_docs: README.md CLI reference is up to date"
+else
+    mv "$tables.md" README.md
+    echo "gen_cli_docs: README.md CLI reference regenerated"
+fi
