@@ -36,6 +36,7 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale presets (slower)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	qps := flag.Float64("qps", 0, "target aggregate request rate for the serve experiment's load phases; 0 runs unpaced")
 	telemetry := flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 	helpMD := flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
@@ -78,6 +79,7 @@ func main() {
 	if *full {
 		scale = exp.Full
 	}
+	exp.ServeQPS = *qps
 	for _, id := range ids {
 		gen := exp.Registry[id]
 		sp := obs.Span(id)

@@ -1,0 +1,206 @@
+// Command rramft-serve runs a concurrent inference server over a
+// crossbar-backed model, with on-line fault detection and repair running in
+// the background while requests are served.
+//
+// The wire protocol is line-delimited JSON: one {"id":"...","x":[...]}
+// request per line in, one {"id":"...","class":N,...} response per line
+// out. Responses may complete out of order across in-flight requests; use
+// ids to correlate. With -listen the server accepts TCP connections;
+// without it, it serves stdin to stdout and exits at EOF:
+//
+//	printf '{"id":"a","x":[%s]}\n' "$(seq -s, 1 256 | sed 's/[0-9]\+/0.1/g')" | rramft-serve
+//	rramft-serve -listen localhost:7077 -repair-every 100ms
+//
+// The model is the deterministic built-in scenario model (a small MLP
+// trained on a synthetic MNIST-like dataset, on crossbars with fabrication
+// faults) — this command demonstrates and load-tests the serving layer;
+// it is not a production model server.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"rramft/internal/cliutil"
+	"rramft/internal/serve"
+	"rramft/internal/xrand"
+)
+
+// options carries the parsed flag values so validation is testable apart
+// from flag.Parse and the process exit it triggers.
+type options struct {
+	Iters, TrainN int
+	Faults        float64
+	RepairEvery   time.Duration
+	MaxBatch      int
+	Timeout       time.Duration
+}
+
+// validate rejects impossible flag combinations before the model is
+// trained, with one clear error naming the offending flag.
+func (o options) validate() error {
+	if o.Iters <= 0 {
+		return fmt.Errorf("-iters must be positive, got %d", o.Iters)
+	}
+	if o.TrainN <= 0 {
+		return fmt.Errorf("-train-n must be positive, got %d", o.TrainN)
+	}
+	if o.Faults < 0 || o.Faults >= 1 {
+		return fmt.Errorf("-faults must be in [0, 1), got %g", o.Faults)
+	}
+	if o.RepairEvery <= 0 {
+		return fmt.Errorf("-repair-every must be positive, got %s", o.RepairEvery)
+	}
+	if o.MaxBatch <= 0 {
+		return fmt.Errorf("-max-batch must be positive, got %d", o.MaxBatch)
+	}
+	if o.Timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %s", o.Timeout)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		listen      = flag.String("listen", "", "TCP listen address (e.g. localhost:7077); empty serves stdin to stdout")
+		seed        = flag.Int64("seed", 1, "random seed for the built-in scenario model")
+		iters       = flag.Int("iters", 600, "training iterations for the scenario model")
+		trainN      = flag.Int("train-n", 600, "training set size for the scenario model")
+		faults      = flag.Float64("faults", 0.05, "fabrication fault fraction the model trains around")
+		repair      = flag.Bool("repair", true, "run the background detect-and-repair maintenance loop [§4, §5.2]")
+		repairEvery = flag.Duration("repair-every", 50*time.Millisecond, "period between repair passes")
+		maxBatch    = flag.Int("max-batch", 8, "largest request batch coalesced into one forward pass")
+		timeout     = flag.Duration("timeout", time.Second, "per-request deadline from submission")
+		telemetry   = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+		helpMD      = flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
+	)
+	flag.Parse()
+
+	if *helpMD {
+		cliutil.HelpMD(os.Stdout, "rramft-serve", flag.CommandLine)
+		return
+	}
+
+	opt := options{
+		Iters: *iters, TrainN: *trainN, Faults: *faults,
+		RepairEvery: *repairEvery, MaxBatch: *maxBatch, Timeout: *timeout,
+	}
+	if err := opt.validate(); err != nil {
+		log.Fatalf("rramft-serve: %v", err)
+	}
+
+	closeJournal, err := cliutil.Telemetry(*telemetry, *debugAddr, cliutil.Header{
+		Cmd: "rramft-serve", Seed: *seed, Config: cliutil.FlagValues(flag.CommandLine),
+	})
+	if err != nil {
+		log.Fatalf("rramft-serve: %v", err)
+	}
+	defer func() {
+		if err := closeJournal(); err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-serve: closing telemetry journal: %v\n", err)
+		}
+	}()
+
+	cfg := serve.DefaultScenarioConfig(*seed)
+	cfg.Iters = opt.Iters
+	cfg.TrainN = opt.TrainN
+	cfg.FaultFrac = opt.Faults
+	cfg.Serve.MaxBatch = opt.MaxBatch
+	cfg.Serve.Timeout = opt.Timeout
+	cfg.Repair.Every = opt.RepairEvery
+
+	log.Printf("rramft-serve: training scenario model (%d iters, %d samples, %.0f%% fabrication faults)",
+		opt.Iters, opt.TrainN, opt.Faults*100)
+	m, ds := serve.TrainScenarioModel(cfg)
+	e := serve.NewEngine(m, ds.InSize(), cfg.Serve)
+	defer e.Close()
+	if *repair {
+		if err := e.StartMaintenance(cfg.Repair, xrand.Derive(*seed, "rramft-serve")); err != nil {
+			log.Fatalf("rramft-serve: %v", err)
+		}
+	}
+	log.Printf("rramft-serve: model ready (%d features in, %d classes out)", e.InSize(), e.Classes())
+
+	if *listen == "" {
+		if err := serveStream(e, os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("rramft-serve: %v", err)
+		}
+		return
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("rramft-serve: %v", err)
+	}
+	log.Printf("rramft-serve: listening on %s", ln.Addr())
+	if err := serveListener(e, ln); err != nil {
+		log.Fatalf("rramft-serve: %v", err)
+	}
+}
+
+// serveListener accepts connections forever, one goroutine per connection.
+func serveListener(e *serve.Engine, ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveStream(e, conn, conn); err != nil {
+				log.Printf("rramft-serve: %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serveStream pumps one line-delimited JSON stream through the engine.
+// Requests are submitted as soon as they parse, so consecutive lines from
+// one stream can share a batch; responses are written as they complete,
+// serialized by a write mutex, possibly out of submission order. Blank
+// lines are ignored. Returns when the reader is exhausted and every
+// in-flight response has been written; a line longer than
+// serve.MaxRequestBytes kills the stream (the scanner cannot resynchronize
+// past it).
+func serveStream(e *serve.Engine, r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), serve.MaxRequestBytes+1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	writeLine := func(b []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Write(append(b, '\n'))
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		req, err := serve.DecodeRequest(line, e.InSize())
+		if err != nil {
+			writeLine(serve.EncodeResponse(serve.Response{Err: err}))
+			continue
+		}
+		ch, err := e.Submit(req)
+		if err != nil {
+			writeLine(serve.EncodeResponse(serve.Response{ID: req.ID, Err: err}))
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			writeLine(serve.EncodeResponse(<-ch))
+		}()
+	}
+	wg.Wait()
+	return sc.Err()
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rramft/internal/core"
+	"rramft/internal/serve"
+)
+
+func validServeOptions() options {
+	return options{
+		Iters: 600, TrainN: 600, Faults: 0.05,
+		RepairEvery: 50 * time.Millisecond, MaxBatch: 8, Timeout: time.Second,
+	}
+}
+
+func TestValidateServeFlags(t *testing.T) {
+	if err := validServeOptions().validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"zero iters", func(o *options) { o.Iters = 0 }},
+		{"negative train-n", func(o *options) { o.TrainN = -1 }},
+		{"negative faults", func(o *options) { o.Faults = -0.1 }},
+		{"faults at one", func(o *options) { o.Faults = 1.0 }},
+		{"zero repair-every", func(o *options) { o.RepairEvery = 0 }},
+		{"zero max-batch", func(o *options) { o.MaxBatch = 0 }},
+		{"zero timeout", func(o *options) { o.Timeout = 0 }},
+	}
+	for _, tc := range cases {
+		o := validServeOptions()
+		tc.mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("%s: validate accepted %+v", tc.name, o)
+		}
+	}
+}
+
+// testEngine builds a small software-only engine — the stream plumbing
+// under test is independent of the crossbar machinery.
+func testEngine(t *testing.T) *serve.Engine {
+	t.Helper()
+	const inSize = 6
+	m := core.BuildMLP(inSize, []int{5}, 3, core.DefaultBuildOptions(17))
+	e := serve.NewEngine(m, inSize, serve.DefaultConfig())
+	t.Cleanup(e.Close)
+	return e
+}
+
+// wireResp mirrors the response wire format for test-side decoding.
+type wireResp struct {
+	ID    string `json:"id"`
+	Class int    `json:"class"`
+	Error string `json:"error,omitempty"`
+}
+
+func TestServeStreamRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	var in strings.Builder
+	want := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("req-%d", i)
+		want[id] = true
+		x := make([]float64, e.InSize())
+		for j := range x {
+			x[j] = float64(i*j%7)/7 - 0.5
+		}
+		b, err := json.Marshal(map[string]any{"id": id, "x": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Write(b)
+		in.WriteByte('\n')
+	}
+	in.WriteString("\n")                              // blank line: skipped, no response
+	in.WriteString("{not json}\n")                    // malformed: error response
+	in.WriteString(`{"id":"short","x":[1,2]}` + "\n") // wrong feature count: error response
+
+	var out bytes.Buffer
+	if err := serveStream(e, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 14 {
+		t.Fatalf("got %d responses, want 14 (12 ok + 2 errors):\n%s", len(lines), out.String())
+	}
+	okN, errN := 0, 0
+	for _, ln := range lines {
+		var r wireResp
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("unparseable response %q: %v", ln, err)
+		}
+		if r.Error != "" {
+			errN++
+			if r.Class != -1 {
+				t.Errorf("error response %q has class %d, want -1", ln, r.Class)
+			}
+			continue
+		}
+		okN++
+		if !want[r.ID] {
+			t.Errorf("response for unknown or duplicate id %q", r.ID)
+		}
+		delete(want, r.ID)
+		if r.Class < 0 || r.Class >= e.Classes() {
+			t.Errorf("id %s: class %d out of range [0,%d)", r.ID, r.Class, e.Classes())
+		}
+	}
+	if okN != 12 || errN != 2 {
+		t.Errorf("got %d ok + %d error responses, want 12 + 2", okN, errN)
+	}
+}
+
+// TestServeListenerTCP drives one real TCP connection end to end: dial,
+// send two requests, read two responses, close.
+func TestServeListenerTCP(t *testing.T) {
+	e := testEngine(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serveListener(e, ln)
+	defer ln.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	x := make([]float64, e.InSize())
+	for i := 0; i < 2; i++ {
+		b, _ := json.Marshal(map[string]any{"id": fmt.Sprintf("tcp-%d", i), "x": x})
+		if _, err := conn.Write(append(b, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := json.NewDecoder(conn)
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		var r wireResp
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("reading response %d: %v", i, err)
+		}
+		if r.Error != "" {
+			t.Errorf("response %d errored: %s", i, r.Error)
+		}
+		seen[r.ID] = true
+	}
+	if !seen["tcp-0"] || !seen["tcp-1"] {
+		t.Errorf("missing response ids: %v", seen)
+	}
+}

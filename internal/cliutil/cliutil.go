@@ -1,4 +1,4 @@
-// Package cliutil holds the flag-handling helpers shared by the three
+// Package cliutil holds the flag-handling helpers shared by the
 // commands: the -help-md machine-readable CLI reference generator (the
 // README's CLI table is generated from it so documentation cannot drift —
 // scripts/gen_cli_docs.sh, checked by scripts/ci.sh) and the common

@@ -148,14 +148,6 @@ func (s *session) restore(ck *Checkpoint) error {
 	if ck.NextIter < 1 || ck.NextIter > ck.Iters+1 {
 		return fmt.Errorf("core: checkpoint resume point %d out of range [1, %d]", ck.NextIter, ck.Iters+1)
 	}
-	bindings := s.m.RCSBindings()
-	if len(ck.Stores) != len(bindings) {
-		return fmt.Errorf("core: checkpoint has %d crossbar stores, model has %d", len(ck.Stores), len(bindings))
-	}
-	params := s.m.Net.Params()
-	if ck.NParams != len(params) {
-		return fmt.Errorf("core: checkpoint covers %d params, model has %d", ck.NParams, len(params))
-	}
 	if (ck.Threshold == nil) != (s.cfg.Threshold == nil) {
 		return errors.New("core: threshold-training state in checkpoint does not match config")
 	}
@@ -164,6 +156,52 @@ func (s *session) restore(ck *Checkpoint) error {
 	// through them. Reject incomplete checkpoints instead of panicking.
 	if ck.Opt == nil || ck.Batcher == nil {
 		return errors.New("core: checkpoint is missing optimizer or batcher state")
+	}
+	if err := RestoreModel(s.m, ck); err != nil {
+		return err
+	}
+	params := s.m.Net.Params()
+	if err := s.opt.Restore(params, ck.Opt); err != nil {
+		return err
+	}
+	if ck.Threshold != nil {
+		if err := s.cfg.Threshold.Restore(params, ck.Threshold); err != nil {
+			return err
+		}
+	}
+	if err := s.batcher.Restore(ck.Batcher); err != nil {
+		return err
+	}
+	if err := s.remapRng.UnmarshalBinary(ck.RemapRNG); err != nil {
+		return fmt.Errorf("core: restoring remap rng: %w", err)
+	}
+	s.res.Curve.X = append([]float64(nil), ck.CurveX...)
+	s.res.Curve.Y = append([]float64(nil), ck.CurveY...)
+	s.res.DetectionPhases = ck.DetectionPhases
+	s.res.DetectionScore = ck.DetectionScore
+	s.res.RemapWrites = ck.RemapWrites
+	s.startStats = ck.StartStats
+	s.phase = ck.Phase
+	s.nextIter = ck.NextIter
+	s.resumed = true
+	return nil
+}
+
+// RestoreModel overwrites a freshly built model's mutable state — crossbar
+// stores and software-resident parameters — from a checkpoint, without
+// touching any training-session state. The model must have been built
+// identically to the one the checkpoint was written from (same
+// architecture, same build options); every mismatch this can detect is
+// reported as an error. Resume uses it under the hood; inference-only
+// consumers (the serving layer loading a trained model) call it directly.
+func RestoreModel(m *Model, ck *Checkpoint) error {
+	bindings := m.RCSBindings()
+	if len(ck.Stores) != len(bindings) {
+		return fmt.Errorf("core: checkpoint has %d crossbar stores, model has %d", len(ck.Stores), len(bindings))
+	}
+	params := m.Net.Params()
+	if ck.NParams != len(params) {
+		return fmt.Errorf("core: checkpoint covers %d params, model has %d", ck.NParams, len(params))
 	}
 	for i, st := range ck.Stores {
 		if st == nil {
@@ -196,29 +234,6 @@ func (s *session) restore(ck *Checkpoint) error {
 		}
 		ms.W.CopyFrom(sp)
 	}
-	if err := s.opt.Restore(params, ck.Opt); err != nil {
-		return err
-	}
-	if ck.Threshold != nil {
-		if err := s.cfg.Threshold.Restore(params, ck.Threshold); err != nil {
-			return err
-		}
-	}
-	if err := s.batcher.Restore(ck.Batcher); err != nil {
-		return err
-	}
-	if err := s.remapRng.UnmarshalBinary(ck.RemapRNG); err != nil {
-		return fmt.Errorf("core: restoring remap rng: %w", err)
-	}
-	s.res.Curve.X = append([]float64(nil), ck.CurveX...)
-	s.res.Curve.Y = append([]float64(nil), ck.CurveY...)
-	s.res.DetectionPhases = ck.DetectionPhases
-	s.res.DetectionScore = ck.DetectionScore
-	s.res.RemapWrites = ck.RemapWrites
-	s.startStats = ck.StartStats
-	s.phase = ck.Phase
-	s.nextIter = ck.NextIter
-	s.resumed = true
 	return nil
 }
 

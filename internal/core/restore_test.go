@@ -1,0 +1,68 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rramft/internal/par"
+	"rramft/internal/tensor"
+)
+
+// TestRestoreModelStandalone covers the inference-side entry point: a
+// checkpoint loaded into a freshly built model (no training session) must
+// reproduce the writer's substrate state deterministically, and must
+// reject a model built with a different architecture instead of silently
+// corrupting it.
+func TestRestoreModelStandalone(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	const seed = 21
+	ds := resumeData()
+	path := filepath.Join(t.TempDir(), "ck.rramft")
+	cfg := resumeCfg(seed, 60)
+	cfg.CheckpointEvery = 40
+	cfg.CheckpointPath = path
+	Train(resumeModel(ds, seed), ds, cfg)
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("loading checkpoint: %v", err)
+	}
+
+	a, b := resumeModel(ds, seed), resumeModel(ds, seed)
+	if err := RestoreModel(a, ck); err != nil {
+		t.Fatalf("RestoreModel: %v", err)
+	}
+	if err := RestoreModel(b, ck); err != nil {
+		t.Fatalf("RestoreModel (second model): %v", err)
+	}
+	// Restoring the same checkpoint into two fresh models must yield the
+	// same effective weights — the full crossbar state (faults, noise,
+	// perms, masks) rides in the checkpoint, not just intents.
+	ab, bb := a.RCSBindings(), b.RCSBindings()
+	if len(ab) == 0 || len(ab) != len(bb) {
+		t.Fatalf("binding counts: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		wa, wb := ab[i].Store.WeightSnapshot(), bb[i].Store.WeightSnapshot()
+		if !tensor.Equal(wa, wb, 0) {
+			t.Errorf("store %d reads differ after identical restores", i)
+		}
+	}
+	// And it must actually have replaced the fresh build's state.
+	fresh := resumeModel(ds, seed)
+	changed := false
+	for i, bind := range fresh.RCSBindings() {
+		if !tensor.Equal(bind.Store.WeightSnapshot(), ab[i].Store.WeightSnapshot(), 0) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("restored model is identical to a fresh build; restore was a no-op")
+	}
+
+	// Architecture mismatch: fewer/more stores or params must error.
+	bad := BuildMLP(ds.InSize(), []int{8}, 10, resumeOpts(seed))
+	if err := RestoreModel(bad, ck); err == nil {
+		t.Error("RestoreModel accepted a checkpoint from a different architecture")
+	}
+}

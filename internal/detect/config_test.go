@@ -1,0 +1,101 @@
+package detect
+
+import (
+	"testing"
+
+	"rramft/internal/fault"
+)
+
+// TestWithDefaults pins the clamp: every unusable zero/negative field is
+// replaced by its DefaultConfig value, while explicitly set fields survive
+// untouched.
+func TestWithDefaults(t *testing.T) {
+	d := DefaultConfig()
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"zero value", Config{}, d},
+		{"negative test size", Config{TestSize: -4, Divisor: 8, Delta: 2, SA1CandidateMin: 5},
+			Config{TestSize: d.TestSize, Divisor: 8, Delta: 2, SA1CandidateMin: 5}},
+		{"divisor 1 compares nothing", Config{TestSize: 4, Divisor: 1, Delta: 1, SA1CandidateMin: 5},
+			Config{TestSize: 4, Divisor: d.Divisor, Delta: 1, SA1CandidateMin: 5}},
+		{"negative delta", Config{TestSize: 4, Divisor: 8, Delta: -1, SA1CandidateMin: 5},
+			Config{TestSize: 4, Divisor: 8, Delta: d.Delta, SA1CandidateMin: 5}},
+		{"negative SA0 candidate max", Config{TestSize: 4, Divisor: 8, Delta: 1, SA0CandidateMax: -3, SA1CandidateMin: 5},
+			Config{TestSize: 4, Divisor: 8, Delta: 1, SA0CandidateMax: d.SA0CandidateMax, SA1CandidateMin: 5}},
+		{"fully specified survives", Config{TestSize: 2, Divisor: 4, Delta: 2, SelectedCells: true, SA0CandidateMax: 1, SA1CandidateMin: 6},
+			Config{TestSize: 2, Divisor: 4, Delta: 2, SelectedCells: true, SA0CandidateMax: 1, SA1CandidateMin: 6}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.WithDefaults(); got != tc.want {
+			t.Errorf("%s: WithDefaults() = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWithDefaultsMakesRunnable: a zero config run through WithDefaults
+// must not panic Run — the contract the serving maintenance loop relies
+// on when assembling a config from user flags.
+func TestWithDefaultsMakesRunnable(t *testing.T) {
+	cb := noiselessCB(8, 8, 77)
+	cb.SetFault(2, 3, fault.SA0)
+	res := Run(cb, Config{}.WithDefaults())
+	if res.Pred == nil {
+		t.Fatal("no prediction from defaulted config")
+	}
+}
+
+// TestMarchTestTimeRC pins the rectangular cost formula and the square
+// wrapper against actually running the test: March cost is per cell, so a
+// rows×cols array costs 5·rows·cols cycles regardless of shape.
+func TestMarchTestTimeRC(t *testing.T) {
+	for _, sz := range []struct{ rows, cols int }{{1, 1}, {1, 7}, {5, 2}, {4, 4}} {
+		cb := noiselessCB(sz.rows, sz.cols, 78)
+		res := MarchTest(cb)
+		if want := MarchTestTimeRC(sz.rows, sz.cols); res.Cycles != want {
+			t.Errorf("%dx%d: MarchTest used %d cycles, formula says %d", sz.rows, sz.cols, res.Cycles, want)
+		}
+	}
+	if MarchTestTime(6) != MarchTestTimeRC(6, 6) {
+		t.Error("square MarchTestTime disagrees with MarchTestTimeRC")
+	}
+}
+
+// TestMarchBoundaryShapes: the March baseline stays exact on degenerate
+// arrays — a single cell and non-square shapes, where a row/column mixup
+// would index out of bounds or miss cells.
+func TestMarchBoundaryShapes(t *testing.T) {
+	t.Run("1x1 stuck", func(t *testing.T) {
+		cb := noiselessCB(1, 1, 79)
+		cb.SetFault(0, 0, fault.SA1)
+		res := MarchTest(cb)
+		if got := res.Pred.At(0, 0); got != fault.SA1 {
+			t.Errorf("1x1 prediction = %v, want SA1", got)
+		}
+	})
+	t.Run("1x1 healthy", func(t *testing.T) {
+		cb := noiselessCB(1, 1, 80)
+		cb.Write(0, 0, 3)
+		res := MarchTest(cb)
+		if got := res.Pred.At(0, 0); got != fault.None {
+			t.Errorf("healthy 1x1 flagged %v", got)
+		}
+		if lvl := cb.EffectiveLevel(0, 0); lvl != 3 {
+			t.Errorf("level after march = %v, want 3 (restored)", lvl)
+		}
+	})
+	t.Run("non-square", func(t *testing.T) {
+		cb := noiselessCB(2, 5, 81)
+		cb.SetFault(0, 4, fault.SA0)
+		cb.SetFault(1, 0, fault.SA1)
+		res := MarchTest(cb)
+		if res.Pred.At(0, 4) != fault.SA0 || res.Pred.At(1, 0) != fault.SA1 {
+			t.Errorf("non-square predictions wrong: %v %v", res.Pred.At(0, 4), res.Pred.At(1, 0))
+		}
+		if res.Pred.CountFaulty() != 2 {
+			t.Errorf("flagged %d cells, want 2", res.Pred.CountFaulty())
+		}
+	})
+}

@@ -71,6 +71,34 @@ func DefaultConfig() Config {
 	return Config{TestSize: 16, Divisor: 16, Delta: 1, SA0CandidateMax: 0, SA1CandidateMin: 7}
 }
 
+// WithDefaults returns the config with unusable fields replaced by their
+// DefaultConfig values: TestSize ≤ 0, Divisor ≤ 1 (a modulo divisor below 2
+// compares nothing), Delta ≤ 0 and SA1CandidateMin ≤ 0 are all treated as
+// "unset". Run itself panics on a bad config — misconfiguration on the
+// training path is a programming error worth failing loudly on — but
+// long-running callers assembling a Config from user flags or partial
+// literals (the serving maintenance loop) go through WithDefaults first, the
+// same clamp-don't-surprise policy as train.Config's DecayEvery.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.TestSize <= 0 {
+		c.TestSize = d.TestSize
+	}
+	if c.Divisor <= 1 {
+		c.Divisor = d.Divisor
+	}
+	if c.Delta <= 0 {
+		c.Delta = d.Delta
+	}
+	if c.SA0CandidateMax < 0 {
+		c.SA0CandidateMax = d.SA0CandidateMax
+	}
+	if c.SA1CandidateMin <= 0 {
+		c.SA1CandidateMin = d.SA1CandidateMin
+	}
+	return c
+}
+
 // Result reports one detection phase.
 type Result struct {
 	// Pred holds the predicted fault kind per physical cell.

@@ -70,7 +70,12 @@ func MarchTest(cb *rram.Crossbar) *MarchResult {
 
 // MarchTestTime returns the sequential test time of MarchTest for an n×n
 // crossbar without running it: 5 cycles per cell (2 reads, 3 writes).
-func MarchTestTime(n int) int { return 5 * n * n }
+func MarchTestTime(n int) int { return MarchTestTimeRC(n, n) }
+
+// MarchTestTimeRC is MarchTestTime for a rectangular rows×cols crossbar —
+// March cost is per cell, so non-square arrays (conv-kernel stores, 1×n
+// edge cases) scale with rows·cols, not with the square of either edge.
+func MarchTestTimeRC(rows, cols int) int { return 5 * rows * cols }
 
 // CompareWithMarch summarizes the on-line method against the March baseline
 // on the same crossbar state (the crossbar is cloned logically by running

@@ -65,6 +65,7 @@ var Registry = map[string]Generator{
 	"retrain":  RetrainCount,
 	"headline": Headline,
 	"ablation": Ablations,
+	"serve":    ServingUnderFaults,
 }
 
 // IDs returns the registered experiment ids in sorted order.

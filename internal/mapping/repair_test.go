@@ -1,0 +1,167 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/prune"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// repairStore builds a noiseless 1×3 store with WMax 1 (level scale 1/7)
+// holding [0.9, 0.1, 0.5] — the fixture the repair-primitive tests plant
+// faults into.
+func repairStore(t *testing.T) (*CrossbarStore, *tensor.Dense) {
+	t.Helper()
+	cfg := noiselessStoreConfig()
+	cfg.WMax = 1.0
+	w := tensor.FromSlice(1, 3, []float64{0.9, 0.1, 0.5})
+	s := NewCrossbarStore("fc", w, cfg, xrand.New(71))
+	return s, w.Clone()
+}
+
+func TestKeptOnEstimatedFaults(t *testing.T) {
+	s, _ := repairStore(t)
+	if got := s.KeptOnEstimatedFaults(); got != 0 {
+		t.Errorf("before detection: %d, want 0", got)
+	}
+	est := fault.NewMap(1, 3)
+	est.Set(0, 0, fault.SA1)
+	est.Set(0, 1, fault.SA0)
+	s.SetEstimatedFaults(est)
+	if got := s.KeptOnEstimatedFaults(); got != 2 {
+		t.Errorf("two kept weights on faults: %d, want 2", got)
+	}
+	mask := prune.NewMask(1, 3)
+	mask.Set(0, 1, false)
+	s.SetPruneMask(mask)
+	if got := s.KeptOnEstimatedFaults(); got != 1 {
+		t.Errorf("after pruning one: %d, want 1", got)
+	}
+}
+
+func TestDisconnectEstimatedFaults(t *testing.T) {
+	s, _ := repairStore(t)
+	if got := s.DisconnectEstimatedFaults(); got != 0 {
+		t.Errorf("before detection: disconnected %d, want 0", got)
+	}
+	est := fault.NewMap(1, 3)
+	est.Set(0, 0, fault.SA1)
+	est.Set(0, 2, fault.SA0)
+	s.SetEstimatedFaults(est)
+	if got := s.DisconnectEstimatedFaults(); got != 2 {
+		t.Errorf("disconnected %d, want 2", got)
+	}
+	got := s.Read()
+	want := []float64{0, 0.1, 0}
+	for j, w := range want {
+		if math.Abs(got.At(0, j)-w) > 1e-9 {
+			t.Errorf("w[%d] = %v, want %v", j, got.At(0, j), w)
+		}
+	}
+	// Idempotent: everything on a fault is already disconnected.
+	if got := s.DisconnectEstimatedFaults(); got != 0 {
+		t.Errorf("second call disconnected %d, want 0", got)
+	}
+}
+
+// TestDisconnectDeviantsErrorSetChoice pins the per-cell decision rule:
+// a stuck value close to the reference stays connected (the network
+// trained around it, or the stuck level happens to serve), while a stuck
+// value that zero approximates better is cut.
+func TestDisconnectDeviantsErrorSetChoice(t *testing.T) {
+	s, ref := repairStore(t)
+	// SA1 under 0.9: reads +1.0, |1.0-0.9| = 0.1 ≤ 0.9 → adapted, keep.
+	s.Crossbar().SetFault(0, 0, fault.SA1)
+	// SA1 under 0.1: reads +1.0, |1.0-0.1| = 0.9 > 0.1 → cut.
+	s.Crossbar().SetFault(0, 1, fault.SA1)
+	if got := s.DisconnectDeviants(ref, 0.5); got != 1 {
+		t.Errorf("disconnected %d, want 1 (only the SA1 under the small weight)", got)
+	}
+	got := s.Read()
+	if math.Abs(got.At(0, 0)-1.0) > 1e-9 {
+		t.Errorf("adapted SA1 = %v, want 1.0 (still connected)", got.At(0, 0))
+	}
+	if got.At(0, 1) != 0 {
+		t.Errorf("deviant SA1 = %v, want 0 (disconnected)", got.At(0, 1))
+	}
+	if math.Abs(got.At(0, 2)-0.5) > 1e-9 {
+		t.Errorf("healthy cell = %v, want 0.5 (untouched)", got.At(0, 2))
+	}
+}
+
+// TestDisconnectDeviantsSA0IsNeverCut: an SA0 reads the same zero a
+// disconnect would give, so cutting it buys nothing — |0-want| = |want| is
+// never strictly worse than zero.
+func TestDisconnectDeviantsSA0IsNeverCut(t *testing.T) {
+	s, ref := repairStore(t)
+	s.Crossbar().SetFault(0, 0, fault.SA0)
+	if got := s.DisconnectDeviants(ref, 0.0); got != 0 {
+		t.Errorf("disconnected %d, want 0 (SA0 already reads the pruned value)", got)
+	}
+}
+
+// TestDisconnectDeviantsNeedsNoEstimate: the check reads every kept cell
+// against the reference, so faults the detector missed are still caught.
+func TestDisconnectDeviantsNeedsNoEstimate(t *testing.T) {
+	s, ref := repairStore(t)
+	s.Crossbar().SetFault(0, 1, fault.SA1) // never "detected": est stays nil
+	if got := s.DisconnectDeviants(ref, 0.5); got != 1 {
+		t.Errorf("disconnected %d, want 1 without any fault estimate", got)
+	}
+}
+
+func TestRestoreReferenceRewritesDrift(t *testing.T) {
+	s, ref := repairStore(t)
+	s.ApplyDelta(tensor.FromSlice(1, 3, []float64{-0.3, 0.3, 0}))
+	if w := s.RestoreReference(ref, 0.1); w != 2 {
+		t.Errorf("restore issued %d writes, want 2 (one per drifted cell)", w)
+	}
+	if got := s.Read(); !tensor.Equal(got, ref, 1e-9) {
+		t.Errorf("restored weights %v, want %v", got.Data, ref.Data)
+	}
+	// Converged: a second restore finds nothing outside tolerance.
+	if w := s.RestoreReference(ref, 0.1); w != 0 {
+		t.Errorf("second restore issued %d writes, want 0", w)
+	}
+}
+
+func TestRestoreReferenceSkipsPruned(t *testing.T) {
+	s, ref := repairStore(t)
+	mask := prune.NewMask(1, 3)
+	mask.Set(0, 2, false)
+	s.SetPruneMask(mask)
+	// The pruned weight reads 0 ≠ ref 0.5, but restore must not touch it.
+	if w := s.RestoreReference(ref, 0.1); w != 0 {
+		t.Errorf("restore issued %d writes, want 0 (only deviation is pruned)", w)
+	}
+	if got := s.Read().At(0, 2); got != 0 {
+		t.Errorf("pruned weight = %v, want 0", got)
+	}
+}
+
+// TestRestoreReferenceAttemptsEstimatedFaulty: estimated-faulty cells are
+// written too — the estimate contains false positives that would otherwise
+// accumulate drift forever, and a write to a truly stuck cell fails
+// silently at the cost of one endurance cycle.
+func TestRestoreReferenceAttemptsEstimatedFaulty(t *testing.T) {
+	s, ref := repairStore(t)
+	s.Crossbar().SetFault(0, 0, fault.SA0) // truly stuck, reads 0
+	est := fault.NewMap(1, 3)
+	est.Set(0, 0, fault.SA0) // true positive
+	est.Set(0, 1, fault.SA0) // false positive on a healthy cell
+	s.SetEstimatedFaults(est)
+	s.ApplyDelta(tensor.FromSlice(1, 3, []float64{0, 0.3, 0})) // drift the FP cell
+	if w := s.RestoreReference(ref, 0.1); w != 2 {
+		t.Errorf("restore issued %d writes, want 2 (stuck cell attempted, FP restored)", w)
+	}
+	got := s.Read()
+	if got.At(0, 0) != 0 {
+		t.Errorf("stuck cell = %v, want 0 (write fails silently)", got.At(0, 0))
+	}
+	if math.Abs(got.At(0, 1)-0.1) > 1e-9 {
+		t.Errorf("false-positive cell = %v, want 0.1 (restored)", got.At(0, 1))
+	}
+}

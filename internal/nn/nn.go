@@ -133,6 +133,16 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
+// OutSizeFor folds OutSize through every layer: the per-sample output
+// feature count (= class count for a classifier) for a given per-sample
+// input feature count, computed without running a forward pass.
+func (n *Network) OutSizeFor(inSize int) int {
+	for _, s := range n.Layers {
+		inSize = s.Layer.OutSize(inSize)
+	}
+	return inSize
+}
+
 // Predict returns the argmax class per sample of the final layer output.
 func (n *Network) Predict(x *tensor.Dense) []int {
 	out := n.Forward(x)

@@ -232,3 +232,24 @@ func TestOutSizeChaining(t *testing.T) {
 		t.Errorf("chained OutSize = %d, want 10", size)
 	}
 }
+
+// TestOutSizeFor: the Network-level fold must agree with chaining OutSize
+// by hand, from the conv stack down to the classifier head.
+func TestOutSizeFor(t *testing.T) {
+	rng := xrand.New(16)
+	spec := NewConvSpec(3, 8, 8, 4, 3, 3, 1, 1)
+	net := NewNetwork(
+		NewConv2DHe("c1", spec, rng),
+		NewReLU("r1"),
+		NewMaxPool2("p1", 4, 8, 8),
+		NewDenseHe("fc", 4*4*4, 10, rng),
+	)
+	if got := net.OutSizeFor(spec.InSize); got != 10 {
+		t.Errorf("OutSizeFor(%d) = %d, want 10", spec.InSize, got)
+	}
+	// MLP: input size just threads through the dense shapes.
+	mlp := NewNetwork(NewDenseHe("a", 6, 4, rng), NewReLU("r"), NewDenseHe("b", 4, 2, rng))
+	if got := mlp.OutSizeFor(6); got != 2 {
+		t.Errorf("OutSizeFor(6) = %d, want 2", got)
+	}
+}

@@ -248,7 +248,13 @@ func Emit(name string, fields map[string]float64) {
 			delete(fields, k)
 		}
 	}
-	j.emit(event{Ev: "point", T: j.clock(), Name: name, Fields: fields})
+	// The clock is read under the journal lock: with concurrent emitters
+	// (the serving layer emits from several goroutines) a timestamp taken
+	// outside the lock could be written after a later one, breaking the
+	// journal's monotonic-timestamp guarantee.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(event{Ev: "point", T: j.clock(), Name: name, Fields: fields})
 }
 
 // EmitCounters writes a named counters event holding every counter and

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rramft/internal/obs"
+	"rramft/internal/xrand"
+)
+
+// batchEvent records one batchHook firing.
+type batchEvent struct {
+	size   int
+	reason string
+}
+
+// TestBatchingDecisions drives the batcher on a fake clock, making the
+// fire-on-size / fire-on-deadline / deadline-exceeded decisions byte-stable
+// instead of sleep-and-hope.
+func TestBatchingDecisions(t *testing.T) {
+	cases := []struct {
+		name       string
+		maxBatch   int
+		maxWait    time.Duration
+		timeout    time.Duration // 0 = default (1s, unreachable on the fake clock here)
+		submit     int
+		advance    time.Duration // 0 = no clock movement needed
+		wantReason string
+		wantSize   int
+		wantErr    error
+	}{
+		{
+			name:     "fires on size",
+			maxBatch: 3, maxWait: time.Hour,
+			submit:     3,
+			wantReason: "size", wantSize: 3,
+		},
+		{
+			name:     "fires on deadline with partial batch",
+			maxBatch: 8, maxWait: 5 * time.Millisecond,
+			submit:     2,
+			advance:    5 * time.Millisecond,
+			wantReason: "deadline", wantSize: 2,
+		},
+		{
+			name:     "deadline exceeded answers with timeout error",
+			maxBatch: 8, maxWait: 50 * time.Millisecond,
+			timeout:    10 * time.Millisecond,
+			submit:     1,
+			advance:    50 * time.Millisecond,
+			wantReason: "deadline", wantSize: 1,
+			wantErr: ErrDeadlineExceeded,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := obs.NewFakeClock(0)
+			e := NewEngine(testModelSoft(1), testInSize, Config{
+				MaxBatch: tc.maxBatch,
+				MaxWait:  tc.maxWait,
+				Timeout:  tc.timeout,
+				Clock:    fc,
+			})
+			defer e.Close()
+			events := make(chan batchEvent, 16)
+			e.batchHook = func(size int, reason string) { events <- batchEvent{size, reason} }
+
+			rng := xrand.New(2)
+			chans := make([]<-chan Response, tc.submit)
+			for i := range chans {
+				ch, err := e.Submit(&Request{X: randSample(rng)})
+				if err != nil {
+					t.Fatalf("Submit %d: %v", i, err)
+				}
+				chans[i] = ch
+			}
+			if tc.advance > 0 {
+				// The executor arms its max-wait timer after dequeuing the
+				// first request; advancing before that arm would lose the
+				// tick.
+				fc.AwaitTimers(1)
+				fc.Advance(tc.advance.Nanoseconds())
+			}
+
+			select {
+			case ev := <-events:
+				if ev.reason != tc.wantReason || ev.size != tc.wantSize {
+					t.Errorf("batch fired (%d, %q), want (%d, %q)", ev.size, ev.reason, tc.wantSize, tc.wantReason)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("no batch fired")
+			}
+			for i, ch := range chans {
+				select {
+				case resp := <-ch:
+					if !errors.Is(resp.Err, tc.wantErr) {
+						t.Errorf("response %d error = %v, want %v", i, resp.Err, tc.wantErr)
+					}
+					if tc.wantErr == nil && (resp.Class < 0 || resp.Class >= testClasses) {
+						t.Errorf("response %d class = %d out of range", i, resp.Class)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("response %d never arrived", i)
+				}
+			}
+		})
+	}
+}
+
+// TestMaxBatchOneSkipsTimer pins the degenerate configuration: MaxBatch 1
+// must fire immediately on size without arming a wait timer (a fake clock
+// that nobody advances would otherwise stall serving).
+func TestMaxBatchOneSkipsTimer(t *testing.T) {
+	fc := obs.NewFakeClock(0)
+	e := NewEngine(testModelSoft(1), testInSize, Config{MaxBatch: 1, Clock: fc})
+	defer e.Close()
+	events := make(chan batchEvent, 1)
+	e.batchHook = func(size int, reason string) { events <- batchEvent{size, reason} }
+
+	resp := e.Infer(&Request{X: randSample(xrand.New(3))})
+	if resp.Err != nil {
+		t.Fatalf("Infer: %v", resp.Err)
+	}
+	ev := <-events
+	if ev.reason != "size" || ev.size != 1 {
+		t.Errorf("batch fired (%d, %q), want (1, size)", ev.size, ev.reason)
+	}
+}

@@ -1,0 +1,459 @@
+// Package serve is the concurrent inference serving layer: it answers
+// classification requests over a crossbar-backed model while an on-line
+// maintenance loop detects and repairs faults on the same live substrate.
+//
+// The design works around the substrate's single-owner invariant
+// (rram.Crossbar and mapping.CrossbarStore are not safe for concurrent
+// use — even the read path reuses buffers and, during maintenance,
+// consumes RNG state):
+//
+//   - A bounded request queue feeds exactly one batch-executor goroutine,
+//     which coalesces single-sample requests into micro-batches (fire on
+//     MaxBatch, or on MaxWait expiring) and runs each batched forward pass
+//     under the substrate mutex.
+//   - Exactly one maintenance goroutine runs repair passes. A pass never
+//     holds the mutex end to end: it takes the lock once per *step* (one
+//     store's detection, one boundary's re-mapping, one store's
+//     mask/restore install), so inference batches interleave between steps
+//     and no request ever waits for a full detect+remap pass.
+//   - A monotonically increasing repair epoch is bumped with the lock held
+//     whenever a step changes visible substrate state; every response
+//     reports the epoch its batch executed against, so a client (or test)
+//     can tell exactly which repair generation answered it. Inference can
+//     never observe a half-remapped tile: permutation installs happen
+//     entirely inside one locked step.
+//
+// Degraded mode: between a detection step that finds kept weights sitting
+// on faulty cells and the repair steps that disconnect or relocate them,
+// the engine serves degraded results rather than stalling. The window is
+// flagged on a gauge, counted per response, and stamped into each
+// Response via the epoch.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rramft/internal/core"
+	"rramft/internal/obs"
+	"rramft/internal/tensor"
+)
+
+// Registry metrics for the serving layer (OBSERVABILITY.md): queue and
+// batching behaviour, latency, and the degraded-mode window. Bumped only
+// when obs.MetricsEnabled().
+var (
+	cRequests     = obs.NewCounter("serve.requests")
+	cResponses    = obs.NewCounter("serve.responses")
+	cTimeouts     = obs.NewCounter("serve.timeouts")
+	cRejected     = obs.NewCounter("serve.rejected")
+	cDecodeErrors = obs.NewCounter("serve.decode_errors")
+	cBatches      = obs.NewCounter("serve.batches")
+	cDegradedResp = obs.NewCounter("serve.degraded_responses")
+	cRepairPasses = obs.NewCounter("serve.repair_passes")
+	cRepairSteps  = obs.NewCounter("serve.repair_steps")
+	gQueueDepth   = obs.NewGauge("serve.queue_depth")
+	gDegraded     = obs.NewGauge("serve.degraded")
+	gEpoch        = obs.NewGauge("serve.epoch")
+	hBatchSize    = obs.NewHistogram("serve.batch_size")
+	hLatencyNs    = obs.NewHistogram("serve.latency_ns")
+)
+
+// Submission errors. ErrOverloaded is the backpressure signal (bounded
+// queue full); ErrDeadlineExceeded answers requests that waited past their
+// per-request deadline; ErrClosed answers requests caught by shutdown.
+var (
+	ErrOverloaded       = errors.New("serve: queue full")
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+	ErrClosed           = errors.New("serve: engine closed")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// MaxBatch is the largest number of requests coalesced into one
+	// batched forward pass (default 8).
+	MaxBatch int
+	// MaxWait bounds how long an open batch waits for further requests
+	// before firing partially filled (default 2ms).
+	MaxWait time.Duration
+	// QueueCap bounds the request queue. Submit fails fast with
+	// ErrOverloaded when the queue is full — backpressure instead of
+	// unbounded buffering (default 64).
+	QueueCap int
+	// Timeout is the per-request deadline, measured from Submit. A
+	// request still queued when it expires is answered with
+	// ErrDeadlineExceeded instead of being served stale (default 1s;
+	// negative disables deadlines).
+	Timeout time.Duration
+	// Clock drives the batching and maintenance timers; nil selects the
+	// wall clock. Tests inject obs.NewFakeClock to make batching
+	// decisions deterministic.
+	Clock obs.Clock
+}
+
+// DefaultConfig returns the serving defaults documented on Config.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond, QueueCap: 64, Timeout: time.Second}
+}
+
+// withDefaults fills zero fields from DefaultConfig (the same
+// clamp-don't-surprise policy as detect.Config.WithDefaults).
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = d.MaxWait
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.Timeout == 0 {
+		c.Timeout = d.Timeout
+	} else if c.Timeout < 0 {
+		c.Timeout = 0
+	}
+	if c.Clock == nil {
+		c.Clock = obs.WallClock()
+	}
+	return c
+}
+
+// pending is one queued request plus its completion channel.
+type pending struct {
+	req      *Request
+	enq      int64 // Clock.Now() at Submit
+	deadline int64 // absolute; 0 = none
+	resp     chan Response
+}
+
+// Engine serves classification requests over a model whose weights live on
+// (possibly faulty, possibly degrading) crossbars. Build one with
+// NewEngine; submit with Submit or Infer; start background repair with
+// StartMaintenance; stop everything with Close.
+type Engine struct {
+	cfg      Config
+	model    *core.Model
+	inSize   int
+	classes  int
+	refs     []*tensor.Dense // golden weight image per RCS binding, for repair
+	baseSpar []float64       // pruned fraction per RCS binding at construction
+
+	queue chan *pending
+
+	// mu is the substrate lock. The batch executor holds it across one
+	// batched forward pass; the maintenance loop holds it across one
+	// repair step — never a whole pass. Everything the model mutates
+	// (layer caches, store read buffers, crossbar RNG) is touched only
+	// with mu held.
+	mu       sync.Mutex
+	epoch    atomic.Int64
+	degraded atomic.Bool
+
+	// submitMu serializes Submit against Close so no request can be
+	// enqueued after the final drain (which would leave its caller
+	// blocked forever).
+	submitMu sync.RWMutex
+	closed   bool
+
+	done        chan struct{}
+	loopDone    chan struct{}
+	maintDone   chan struct{}
+	maintenance atomic.Bool
+
+	// batchHook (test seam) observes every batch decision: reason is
+	// "size" (MaxBatch reached), "deadline" (MaxWait expired) or "drain"
+	// (engine closing).
+	batchHook func(size int, reason string)
+	// repairStepHook (test seam) runs after each repair step releases the
+	// substrate lock — the interleaving point the latency bound relies on.
+	repairStepHook func(step int)
+}
+
+// NewEngine wraps a built — and typically trained or checkpoint-restored —
+// model and starts the batch executor. It captures a reference snapshot of
+// every crossbar-backed weight matrix (the golden image repair re-programs
+// from) and derives the class count from the network shape. The engine
+// owns the model's substrate from here on: all other access must stop.
+func NewEngine(m *core.Model, inSize int, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:       cfg,
+		model:     m,
+		inSize:    inSize,
+		classes:   m.Net.OutSizeFor(inSize),
+		queue:     make(chan *pending, cfg.QueueCap),
+		done:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		maintDone: make(chan struct{}),
+	}
+	for _, b := range m.RCSBindings() {
+		e.refs = append(e.refs, b.Store.WeightSnapshot())
+		rows, cols := b.Store.Shape()
+		pruned := 0
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if !b.Store.Kept(i, j) {
+					pruned++
+				}
+			}
+		}
+		e.baseSpar = append(e.baseSpar, float64(pruned)/float64(rows*cols))
+	}
+	go e.run()
+	return e
+}
+
+// InSize returns the per-sample feature count the engine accepts.
+func (e *Engine) InSize() int { return e.inSize }
+
+// Classes returns the number of output classes.
+func (e *Engine) Classes() int { return e.classes }
+
+// Epoch returns the current repair epoch (bumped by every repair step that
+// changes visible substrate state).
+func (e *Engine) Epoch() int64 { return e.epoch.Load() }
+
+// Degraded reports whether the engine is currently in the degraded window:
+// detection found kept weights on faulty cells that repair has not yet
+// neutralized.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// Submit enqueues one request and returns its response channel (buffered;
+// the response arrives exactly once). It fails fast with ErrOverloaded
+// when the bounded queue is full and with ErrClosed after Close.
+func (e *Engine) Submit(req *Request) (<-chan Response, error) {
+	if len(req.X) != e.inSize {
+		return nil, fmt.Errorf("%w: got %d features, model takes %d", ErrBadShape, len(req.X), e.inSize)
+	}
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	now := e.cfg.Clock.Now()
+	p := &pending{req: req, enq: now, resp: make(chan Response, 1)}
+	if e.cfg.Timeout > 0 {
+		p.deadline = now + e.cfg.Timeout.Nanoseconds()
+	}
+	select {
+	case e.queue <- p:
+		if obs.MetricsEnabled() {
+			cRequests.Inc()
+			gQueueDepth.Add(1)
+		}
+		return p.resp, nil
+	default:
+		if obs.MetricsEnabled() {
+			cRejected.Inc()
+		}
+		return nil, ErrOverloaded
+	}
+}
+
+// Infer submits req and blocks until its response (submission errors are
+// returned inside the Response).
+func (e *Engine) Infer(req *Request) Response {
+	ch, err := e.Submit(req)
+	if err != nil {
+		return Response{ID: req.ID, Err: err}
+	}
+	return <-ch
+}
+
+// run is the batch executor: the only goroutine that dequeues requests and
+// the only inference-side toucher of the substrate.
+func (e *Engine) run() {
+	defer close(e.loopDone)
+	for {
+		select {
+		case p := <-e.queue:
+			e.dequeued()
+			e.runBatch(e.collect(p))
+		case <-e.done:
+			// Serve whatever is still queued, a batch at a time. Close
+			// blocked Submit out before closing done, so every enqueue
+			// happened-before this drain: the queue only shrinks, and
+			// no request is left without a response.
+			for {
+				select {
+				case p := <-e.queue:
+					e.dequeued()
+					e.runBatch(e.collect(p))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dequeued maintains the queue-depth gauge.
+func (e *Engine) dequeued() {
+	if obs.MetricsEnabled() {
+		gQueueDepth.Add(-1)
+	}
+}
+
+// fired reports a batch decision to the test seam.
+func (e *Engine) fired(reason string, size int) {
+	if e.batchHook != nil {
+		e.batchHook(size, reason)
+	}
+}
+
+// collect assembles a batch starting from first. It fires when MaxBatch
+// requests have arrived ("size"), when MaxWait expires ("deadline"), or
+// when the engine is closing ("drain"). Requests already sitting in the
+// queue when the deadline fires are still taken: the deadline bounds
+// waiting for future requests, not work that is already here.
+func (e *Engine) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if e.cfg.MaxBatch <= 1 {
+		e.fired("size", len(batch))
+		return batch
+	}
+	timer := e.cfg.Clock.After(e.cfg.MaxWait.Nanoseconds())
+	for {
+		select {
+		case p := <-e.queue:
+			e.dequeued()
+			batch = append(batch, p)
+			if len(batch) >= e.cfg.MaxBatch {
+				e.fired("size", len(batch))
+				return batch
+			}
+		case <-timer:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case p := <-e.queue:
+					e.dequeued()
+					batch = append(batch, p)
+				default:
+					e.fired("deadline", len(batch))
+					return batch
+				}
+			}
+			e.fired("size", len(batch))
+			return batch
+		case <-e.done:
+			e.fired("drain", len(batch))
+			return batch
+		}
+	}
+}
+
+// runBatch answers expired requests with ErrDeadlineExceeded, runs the
+// rest through one batched forward pass and completes their responses.
+func (e *Engine) runBatch(batch []*pending) {
+	now := e.cfg.Clock.Now()
+	live := batch[:0]
+	for _, p := range batch {
+		if p.deadline > 0 && now > p.deadline {
+			p.resp <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded}
+			if obs.MetricsEnabled() {
+				cTimeouts.Inc()
+			}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	x := tensor.NewDense(len(live), e.inSize)
+	for i, p := range live {
+		copy(x.Row(i), p.req.X)
+	}
+	out, epoch := e.forward(x)
+	end := e.cfg.Clock.Now()
+	degraded := e.degraded.Load()
+	metricsOn := obs.MetricsEnabled()
+	for i, p := range live {
+		p.resp <- Response{ID: p.req.ID, Class: out.ArgMaxRow(i), Epoch: epoch, LatencyNs: end - p.enq}
+		if metricsOn {
+			cResponses.Inc()
+			hLatencyNs.Observe(end - p.enq)
+			if degraded {
+				cDegradedResp.Inc()
+			}
+		}
+	}
+	if metricsOn {
+		cBatches.Inc()
+		hBatchSize.Observe(int64(len(live)))
+	}
+}
+
+// forward runs one batched forward pass under the substrate lock and
+// returns the network output (owned by the network's layer buffers, valid
+// until the next forward) plus the repair epoch the batch executed
+// against.
+func (e *Engine) forward(x *tensor.Dense) (*tensor.Dense, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.Net.Forward(x), e.epoch.Load()
+}
+
+// InferBatch classifies a pre-assembled batch through the exact code path
+// queued requests take (same lock, same batched forward) and returns the
+// argmax class per row — the synchronous API used by the differential
+// tests and the deterministic repair scenario.
+func (e *Engine) InferBatch(x *tensor.Dense) []int {
+	out, _ := e.forward(x)
+	preds := make([]int, out.Rows)
+	for i := range preds {
+		preds[i] = out.ArgMaxRow(i)
+	}
+	return preds
+}
+
+// AccuracyBatched evaluates classification accuracy over a labelled set by
+// feeding MaxBatch-sized batches through the serving forward path.
+func (e *Engine) AccuracyBatched(x *tensor.Dense, labels []int) float64 {
+	if x.Rows != len(labels) {
+		panic(fmt.Sprintf("serve: %d samples vs %d labels", x.Rows, len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for lo := 0; lo < x.Rows; lo += e.cfg.MaxBatch {
+		hi := lo + e.cfg.MaxBatch
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		chunk := tensor.NewDense(hi-lo, x.Cols)
+		for i := lo; i < hi; i++ {
+			copy(chunk.Row(i-lo), x.Row(i))
+		}
+		for i, p := range e.InferBatch(chunk) {
+			if p == labels[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Close stops the maintenance loop (when started) and the batch executor,
+// serves or fails every still-queued request (nothing is dropped without a
+// response), and blocks until both goroutines have exited. Close is
+// idempotent and safe to call concurrently with Submit.
+func (e *Engine) Close() {
+	e.submitMu.Lock()
+	already := e.closed
+	e.closed = true
+	e.submitMu.Unlock()
+	if !already {
+		close(e.done)
+	}
+	<-e.loopDone
+	if e.maintenance.Load() {
+		<-e.maintDone
+	}
+}

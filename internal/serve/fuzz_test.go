@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzServeRequest proves no protocol line can panic the request decoder —
+// malformed JSON, wrong shapes, non-finite or out-of-range numbers and
+// oversized payloads must all come back as errors — and that every request
+// it accepts is servable (right arity, finite values) and every response
+// encodes to one valid JSON line.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"id":"a","x":[0.1,0.2,0.3,0.4]}`,
+		`{"x":[0,0,0,0]}`,
+		`{"x":[1,2]}`,
+		`{"x":[]}`,
+		`{"x":null}`,
+		`{}`,
+		``,
+		`not json`,
+		`{"id":"big","x":[1e308,-1e308,0,0]}`,
+		`{"id":"overflow","x":[1e400,0,0,0]}`,
+		`{"x":["a","b","c","d"]}`,
+		`{"x":[null,null,null,null]}`,
+		`{"id":"dup","x":[1,1,1,1],"x":[2,2,2,2]}`,
+		`[0.1,0.2,0.3,0.4]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Add(bytes.Repeat([]byte("9"), MaxRequestBytes+1))
+
+	const inSize = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data, inSize)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("decode returned both a request and error %v", err)
+			}
+			return
+		}
+		if len(req.X) != inSize {
+			t.Fatalf("accepted request with %d features, want %d", len(req.X), inSize)
+		}
+		for i, v := range req.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %v at %d", v, i)
+			}
+		}
+		line := EncodeResponse(Response{ID: req.ID, Class: 1, Epoch: 2, LatencyNs: 3})
+		if !json.Valid(line) || bytes.ContainsRune(line, '\n') {
+			t.Fatalf("response did not encode to one valid JSON line: %q", line)
+		}
+	})
+}
+
+// TestDecodeRequest pins the decoder's rejection taxonomy.
+func TestDecodeRequest(t *testing.T) {
+	const inSize = 3
+	cases := []struct {
+		name    string
+		line    string
+		wantErr error // nil = accept
+	}{
+		{"valid", `{"id":"r1","x":[1,2,3]}`, nil},
+		{"valid without id", `{"x":[0.5,-0.5,0]}`, nil},
+		{"too few features", `{"x":[1,2]}`, ErrBadShape},
+		{"too many features", `{"x":[1,2,3,4]}`, ErrBadShape},
+		{"null payload", `{"x":null}`, ErrBadShape},
+		{"empty object", `{}`, ErrBadShape},
+		{"malformed json", `{"x":[1,2,3`, nil /* any error */},
+		{"oversized line", strings.Repeat("9", MaxRequestBytes+1), ErrRequestTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := DecodeRequest([]byte(tc.line), inSize)
+			if tc.wantErr == nil && tc.name != "malformed json" {
+				if err != nil {
+					t.Fatalf("DecodeRequest: %v", err)
+				}
+				if len(req.X) != inSize {
+					t.Fatalf("decoded %d features", len(req.X))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("decoder accepted a bad request")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEncodeResponseError pins error-response encoding: class -1 plus the
+// error text, still one JSON line.
+func TestEncodeResponseError(t *testing.T) {
+	line := EncodeResponse(Response{ID: "r9", Err: ErrDeadlineExceeded})
+	var wr struct {
+		ID    string `json:"id"`
+		Class int    `json:"class"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(line, &wr); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if wr.ID != "r9" || wr.Class != -1 || wr.Error == "" {
+		t.Errorf("error response = %+v", wr)
+	}
+}

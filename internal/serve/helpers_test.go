@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"rramft/internal/core"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// testInSize/testClasses size the unit-test model (small enough that a
+// forward pass is microseconds).
+const (
+	testInSize  = 6
+	testClasses = 3
+)
+
+// testModelSoft builds a software-only MLP (no crossbars — batching and
+// queueing tests don't need fault machinery).
+func testModelSoft(seed int64) *core.Model {
+	opts := core.DefaultBuildOptions(seed)
+	return core.BuildMLP(testInSize, []int{5}, testClasses, opts)
+}
+
+// testModelRCS builds a crossbar-backed MLP with the given fabrication
+// fault fraction and endurance model.
+func testModelRCS(seed int64, faultFrac float64, end fault.EnduranceModel) *core.Model {
+	opts := core.DefaultBuildOptions(seed)
+	opts.OnRCS = true
+	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05, Endurance: end}}
+	opts.InitialFaultFrac = faultFrac
+	opts.FCSparsity = 0.4
+	return core.BuildMLP(testInSize, []int{8}, testClasses, opts)
+}
+
+// randSample returns one random feature vector.
+func randSample(rng *xrand.Stream) []float64 {
+	x := make([]float64, testInSize)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	return x
+}
+
+// randBatch returns n random samples as a matrix.
+func randBatch(rng *xrand.Stream, n int) *tensor.Dense {
+	x := tensor.NewDense(n, testInSize)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), randSample(rng))
+	}
+	return x
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rramft/internal/obs"
+)
+
+// LoadConfig parameterizes a closed-loop load run against an engine.
+type LoadConfig struct {
+	// Clients is the number of concurrent client goroutines (default 4).
+	Clients int
+	// QPS is the aggregate target request rate across all clients; 0 runs
+	// unpaced (each client submits as fast as responses return).
+	QPS float64
+	// Requests bounds the run by total submissions; 0 bounds it by
+	// Duration instead (one of the two must be set).
+	Requests int
+	// Duration bounds the run by wall time when Requests is 0.
+	Duration time.Duration
+	// Sample supplies the i-th request payload and its true label (-1
+	// when unknown; such responses are excluded from accuracy).
+	Sample func(i int) (x []float64, label int)
+}
+
+// LoadResult summarizes a load run. Latency percentiles are computed over
+// successful responses only, on the engine's clock.
+type LoadResult struct {
+	// Sent counts submissions attempted; every one of them ended as
+	// exactly one of OK, Timeouts, Rejected or Errored — the load
+	// generator's dropped-without-error check is Sent == OK + Timeouts +
+	// Rejected + Errored.
+	Sent     int
+	OK       int
+	Timeouts int
+	Rejected int
+	Errored  int
+	// Labelled/Correct feed Accuracy (fraction of labelled OK responses
+	// classified correctly — the accuracy-under-degradation measure).
+	Labelled int
+	Correct  int
+	Accuracy float64
+	// P50/P95/P99/Max are response latency percentiles.
+	P50, P95, P99, Max time.Duration
+	// Elapsed is the wall time of the run; AchievedQPS = Sent/Elapsed.
+	Elapsed     time.Duration
+	AchievedQPS float64
+}
+
+// RunLoad drives the engine with Clients closed-loop workers until the
+// request or duration budget is spent and returns aggregate counts, latency
+// percentiles and accuracy. Pacing uses wall time (this is a load
+// generator, not a simulation); response latencies come from the engine's
+// clock. When a journal is active the result is emitted as a "load" point.
+func RunLoad(e *Engine, cfg LoadConfig) *LoadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		panic("serve: LoadConfig needs Requests or Duration")
+	}
+	if cfg.Sample == nil {
+		panic("serve: LoadConfig.Sample is required")
+	}
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(cfg.Clients) / cfg.QPS * float64(time.Second))
+	}
+
+	res := &LoadResult{}
+	var mu sync.Mutex
+	var lats []int64
+	var next atomic.Int64
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if cfg.Requests > 0 && i >= cfg.Requests {
+					return
+				}
+				if cfg.Requests <= 0 && !time.Now().Before(deadline) {
+					return
+				}
+				x, label := cfg.Sample(i)
+				resp := e.Infer(&Request{ID: fmt.Sprintf("c%d-%d", client, i), X: x})
+				mu.Lock()
+				res.Sent++
+				switch {
+				case resp.Err == nil:
+					res.OK++
+					lats = append(lats, resp.LatencyNs)
+					if label >= 0 {
+						res.Labelled++
+						if resp.Class == label {
+							res.Correct++
+						}
+					}
+				case errors.Is(resp.Err, ErrDeadlineExceeded):
+					res.Timeouts++
+				case errors.Is(resp.Err, ErrOverloaded):
+					res.Rejected++
+				default:
+					res.Errored++
+				}
+				mu.Unlock()
+				if errors.Is(resp.Err, ErrOverloaded) {
+					// Closed-loop backpressure: back off briefly instead of
+					// hammering a full queue.
+					time.Sleep(time.Millisecond)
+				}
+				if interval > 0 {
+					if due := start.Add(time.Duration(i/cfg.Clients+1) * interval); time.Now().Before(due) {
+						time.Sleep(time.Until(due))
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.AchievedQPS = float64(res.Sent) / res.Elapsed.Seconds()
+	}
+	if res.Labelled > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Labelled)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.P50 = percentile(lats, 0.50)
+	res.P95 = percentile(lats, 0.95)
+	res.P99 = percentile(lats, 0.99)
+	if n := len(lats); n > 0 {
+		res.Max = time.Duration(lats[n-1])
+	}
+	if obs.Enabled() {
+		obs.Emit("load", map[string]float64{
+			"sent":     float64(res.Sent),
+			"ok":       float64(res.OK),
+			"timeouts": float64(res.Timeouts),
+			"rejected": float64(res.Rejected),
+			"errored":  float64(res.Errored),
+			"accuracy": res.Accuracy,
+			"p50_ns":   float64(res.P50),
+			"p95_ns":   float64(res.P95),
+			"p99_ns":   float64(res.P99),
+		})
+	}
+	return res
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []int64, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return time.Duration(sorted[idx])
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"rramft/internal/obs"
+)
+
+// MaxRequestBytes caps one request line of the wire protocol. Longer lines
+// are rejected before JSON parsing, bounding per-request decode work.
+const MaxRequestBytes = 1 << 20
+
+// Decode errors. They wrap into the error returned by DecodeRequest and
+// are matchable with errors.Is.
+var (
+	ErrRequestTooLarge = errors.New("serve: request line exceeds size limit")
+	ErrBadShape        = errors.New("serve: request feature count does not match the model")
+	ErrNotFinite       = errors.New("serve: request contains non-finite values")
+)
+
+// Request is one classification query: a single sample's feature vector,
+// plus an opaque client ID echoed on the response (responses may complete
+// out of submission order across connections and batches).
+type Request struct {
+	ID string
+	X  []float64
+}
+
+// Response answers one Request. Epoch is the repair epoch the answering
+// batch executed against; LatencyNs measures Submit to completion on the
+// engine's clock. Err is set instead of Class on failure.
+type Response struct {
+	ID        string
+	Class     int
+	Epoch     int64
+	LatencyNs int64
+	Err       error
+}
+
+// wireRequest is the line-delimited JSON request form:
+//
+//	{"id":"req-1","x":[0.1,0.2,...]}
+type wireRequest struct {
+	ID string    `json:"id,omitempty"`
+	X  []float64 `json:"x"`
+}
+
+// wireResponse is the line-delimited JSON response form. Class is -1 on
+// error responses.
+type wireResponse struct {
+	ID        string `json:"id,omitempty"`
+	Class     int    `json:"class"`
+	Epoch     int64  `json:"epoch,omitempty"`
+	LatencyNs int64  `json:"latency_ns,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// DecodeRequest parses one protocol line into a Request for a model taking
+// inSize features. It rejects oversized lines, malformed JSON, wrong
+// feature counts and non-finite payloads (JSON cannot carry NaN/Inf
+// literally, but out-of-range constants and null elements must not reach
+// the compute path as surprises either).
+func DecodeRequest(line []byte, inSize int) (*Request, error) {
+	req, err := decodeRequest(line, inSize)
+	if err != nil && obs.MetricsEnabled() {
+		cDecodeErrors.Inc()
+	}
+	return req, err
+}
+
+func decodeRequest(line []byte, inSize int) (*Request, error) {
+	if len(line) > MaxRequestBytes {
+		return nil, fmt.Errorf("%w (%d > %d bytes)", ErrRequestTooLarge, len(line), MaxRequestBytes)
+	}
+	var wr wireRequest
+	if err := json.Unmarshal(line, &wr); err != nil {
+		return nil, fmt.Errorf("serve: bad request json: %w", err)
+	}
+	if len(wr.X) != inSize {
+		return nil, fmt.Errorf("%w: got %d features, model takes %d", ErrBadShape, len(wr.X), inSize)
+	}
+	for _, v := range wr.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrNotFinite
+		}
+	}
+	return &Request{ID: wr.ID, X: wr.X}, nil
+}
+
+// EncodeResponse renders one response as a JSON line (without the trailing
+// newline). Error responses carry class -1 and the error text.
+func EncodeResponse(r Response) []byte {
+	wr := wireResponse{ID: r.ID, Class: r.Class, Epoch: r.Epoch, LatencyNs: r.LatencyNs}
+	if r.Err != nil {
+		wr.Class = -1
+		wr.Error = r.Err.Error()
+	}
+	b, err := json.Marshal(wr)
+	if err != nil {
+		// wireResponse contains only marshalable fields; this is dead in
+		// practice but must not take a serving goroutine down.
+		return []byte(`{"class":-1,"error":"serve: response encoding failed"}`)
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rramft/internal/obs"
+	"rramft/internal/par"
+	"rramft/internal/testkit"
+)
+
+// TestRepairScenario is the acceptance gate for on-line repair under
+// serving: a trained model is struck by a fault burst mid-service, the
+// repair pass runs without a server restart, and post-repair accuracy must
+// come back to within two points of pre-fault. The serving-phase journal is
+// pinned as a golden (regenerate with RRAMFT_UPDATE_GOLDEN=1); the "end"
+// counters line is excluded because gauge deltas depend on which tests ran
+// earlier in the process, while every point/span line is a pure function of
+// the seed.
+func TestRepairScenario(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	cfg := DefaultScenarioConfig(11)
+	cfg.Serve.Clock = obs.NewFakeClock(0)
+	m, ds := TrainScenarioModel(cfg)
+
+	var buf bytes.Buffer
+	var tick int64
+	j := obs.StartWithClock(&buf, obs.Header{
+		Cmd: "serve-scenario", Seed: 11,
+		Config: map[string]string{"net": "mlp-32", "burst": "0.05"},
+	}, func() int64 { tick += 1000; return tick })
+	res := ServeRepairPhases(m, ds, cfg)
+	res.Engine.Close()
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+
+	if res.PreFault < 0.5 {
+		t.Fatalf("scenario model only trained to %.3f accuracy; the comparison below would be noise", res.PreFault)
+	}
+	if res.Stats.EstimatedFaults == 0 {
+		t.Error("detection found none of the injected faults")
+	}
+	if res.Repaired < res.PreFault-0.02 {
+		t.Errorf("acceptance: post-repair accuracy %.3f more than 2 points below pre-fault %.3f (degraded was %.3f)",
+			res.Repaired, res.PreFault, res.Degraded)
+	}
+	if res.Engine.Epoch() == 0 {
+		t.Error("repair never bumped the epoch: inference cannot have been handed off")
+	}
+
+	var lines []json.RawMessage
+	sawEnd := false
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		if ev.Ev == "end" {
+			sawEnd = true
+			continue
+		}
+		lines = append(lines, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEnd {
+		t.Error("journal has no end event")
+	}
+	testkit.Golden(t, "testdata/golden/serve_scenario_journal.json", struct {
+		Lines []json.RawMessage
+	}{lines})
+}

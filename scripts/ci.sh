@@ -51,6 +51,11 @@ scripts/gen_cli_docs.sh -check
 go test ./...
 go test -race -short ./...
 
+# Serving soak under the race detector: 5 s of concurrent clients against a
+# live engine with background repair and a mid-run fault burst (the plain
+# test run above already covers a ~400ms variant).
+RRAMFT_SOAK=5s go test -race -run '^TestServeSoak$' ./internal/serve/
+
 # Coverage floor over internal/... — keeps the harness honest: new code
 # either comes with tests or consciously lowers this number in review.
 # (Measured 81.8% when the floor was set; the margin absorbs small
@@ -73,4 +78,5 @@ if [ "${RRAMFT_FUZZ:-}" = 1 ]; then
     go test ./internal/mapping/ -run='^$' -fuzz='^FuzzMappingState$'    -fuzztime=10s
     go test ./internal/core/    -run='^$' -fuzz='^FuzzReadCheckpoint$'  -fuzztime=10s
     go test ./internal/detect/  -run='^$' -fuzz='^FuzzMarchInput$'      -fuzztime=10s
+    go test ./internal/serve/   -run='^$' -fuzz='^FuzzServeRequest$'    -fuzztime=10s
 fi

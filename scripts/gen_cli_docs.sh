@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 tables=$(mktemp)
 trap 'rm -f "$tables" "$tables.md"' EXIT
-for cmd in rramft-train rramft-detect rramft-bench; do
+for cmd in rramft-train rramft-detect rramft-bench rramft-serve; do
     go run "./cmd/$cmd" -help-md >>"$tables"
     printf '\n' >>"$tables"
 done
