@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rramft/internal/cliutil"
+	"rramft/internal/repair"
 	"rramft/internal/serve"
 	"rramft/internal/xrand"
 )
@@ -40,6 +41,7 @@ type options struct {
 	Iters, TrainN int
 	Faults        float64
 	RepairEvery   time.Duration
+	RepairPolicy  string
 	MaxBatch      int
 	Timeout       time.Duration
 }
@@ -59,6 +61,9 @@ func (o options) validate() error {
 	if o.RepairEvery <= 0 {
 		return fmt.Errorf("-repair-every must be positive, got %s", o.RepairEvery)
 	}
+	if _, err := repair.ByName(o.RepairPolicy); err != nil {
+		return fmt.Errorf("-repair-policy: %w", err)
+	}
 	if o.MaxBatch <= 0 {
 		return fmt.Errorf("-max-batch must be positive, got %d", o.MaxBatch)
 	}
@@ -75,8 +80,9 @@ func main() {
 		iters       = flag.Int("iters", 600, "training iterations for the scenario model")
 		trainN      = flag.Int("train-n", 600, "training set size for the scenario model")
 		faults      = flag.Float64("faults", 0.05, "fabrication fault fraction the model trains around")
-		repair      = flag.Bool("repair", true, "run the background detect-and-repair maintenance loop [§4, §5.2]")
+		repairOn    = flag.Bool("repair", true, "run the background detect-and-repair maintenance loop [§4, §5.2]")
 		repairEvery = flag.Duration("repair-every", 50*time.Millisecond, "period between repair passes")
+		policy      = flag.String("repair-policy", "golden", "maintenance policy: golden, paper or dropconnect (see DESIGN.md §10)")
 		maxBatch    = flag.Int("max-batch", 8, "largest request batch coalesced into one forward pass")
 		timeout     = flag.Duration("timeout", time.Second, "per-request deadline from submission")
 		telemetry   = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
@@ -92,7 +98,8 @@ func main() {
 
 	opt := options{
 		Iters: *iters, TrainN: *trainN, Faults: *faults,
-		RepairEvery: *repairEvery, MaxBatch: *maxBatch, Timeout: *timeout,
+		RepairEvery: *repairEvery, RepairPolicy: *policy,
+		MaxBatch: *maxBatch, Timeout: *timeout,
 	}
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-serve: %v", err)
@@ -117,13 +124,15 @@ func main() {
 	cfg.Serve.MaxBatch = opt.MaxBatch
 	cfg.Serve.Timeout = opt.Timeout
 	cfg.Repair.Every = opt.RepairEvery
+	// validate() already vetted the name; ByName cannot fail here.
+	cfg.Repair.Policy, _ = repair.ByName(opt.RepairPolicy)
 
 	log.Printf("rramft-serve: training scenario model (%d iters, %d samples, %.0f%% fabrication faults)",
 		opt.Iters, opt.TrainN, opt.Faults*100)
 	m, ds := serve.TrainScenarioModel(cfg)
 	e := serve.NewEngine(m, ds.InSize(), cfg.Serve)
 	defer e.Close()
-	if *repair {
+	if *repairOn {
 		if err := e.StartMaintenance(cfg.Repair, xrand.Derive(*seed, "rramft-serve")); err != nil {
 			log.Fatalf("rramft-serve: %v", err)
 		}

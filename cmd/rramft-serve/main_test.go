@@ -16,7 +16,8 @@ import (
 func validServeOptions() options {
 	return options{
 		Iters: 600, TrainN: 600, Faults: 0.05,
-		RepairEvery: 50 * time.Millisecond, MaxBatch: 8, Timeout: time.Second,
+		RepairEvery: 50 * time.Millisecond, RepairPolicy: "golden",
+		MaxBatch: 8, Timeout: time.Second,
 	}
 }
 
@@ -33,6 +34,7 @@ func TestValidateServeFlags(t *testing.T) {
 		{"negative faults", func(o *options) { o.Faults = -0.1 }},
 		{"faults at one", func(o *options) { o.Faults = 1.0 }},
 		{"zero repair-every", func(o *options) { o.RepairEvery = 0 }},
+		{"unknown repair policy", func(o *options) { o.RepairPolicy = "magic" }},
 		{"zero max-batch", func(o *options) { o.MaxBatch = 0 }},
 		{"zero timeout", func(o *options) { o.Timeout = 0 }},
 	}

@@ -26,6 +26,7 @@ import (
 	"rramft/internal/fault"
 	"rramft/internal/mapping"
 	"rramft/internal/remap"
+	"rramft/internal/repair"
 	"rramft/internal/rram"
 	"rramft/internal/train"
 )
@@ -42,6 +43,7 @@ type options struct {
 	DetectEvery     int
 	CheckpointEvery int
 	Resume          string
+	RepairPolicy    string
 }
 
 // validate rejects impossible flag combinations before any dataset or model
@@ -86,6 +88,9 @@ func (o options) validate() error {
 			return fmt.Errorf("-resume checkpoint %s is not readable: %w", o.Resume, err)
 		}
 	}
+	if _, err := repair.ByName(o.RepairPolicy); err != nil {
+		return fmt.Errorf("-repair-policy: %w", err)
+	}
 	return nil
 }
 
@@ -104,6 +109,7 @@ func main() {
 		ft        = flag.Bool("ft", false, "enable the full fault-tolerant flow (threshold + detection + pruning + re-mapping) [§5]")
 		threshold = flag.Bool("threshold", false, "enable threshold training only [§5.1]")
 		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft) [§4]")
+		policy    = flag.String("repair-policy", "paper", "maintenance policy: paper, golden or dropconnect (used with -ft; see DESIGN.md §10)")
 		software  = flag.Bool("software", false, "ideal case: keep all weights in software")
 		verbose   = flag.Bool("v", false, "log per-eval progress to stderr")
 		ckPath    = flag.String("checkpoint", "", "write a session checkpoint to this file every -checkpoint-every iterations")
@@ -125,6 +131,7 @@ func main() {
 		Iters: *iters, Batch: *batch, LR: *lr,
 		Faults: *faults, Endurance: *endurance, Headroom: *headroom,
 		DetectEvery: *detectEv, CheckpointEvery: *ckEvery, Resume: *resume,
+		RepairPolicy: *policy,
 	}
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-train: %v", err)
@@ -206,6 +213,8 @@ func main() {
 		cfg.FaultAwarePruning = true
 		cfg.Remap = remap.Genetic{}
 		cfg.RemapPhases = 2
+		// validate() already vetted the name; ByName cannot fail here.
+		cfg.RepairPolicy, _ = repair.ByName(*policy)
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rramft/internal/repair"
 )
 
 // valid returns a fully valid options value tests mutate one field at a
@@ -14,6 +16,7 @@ func valid() options {
 		Net: "mlp", Dataset: "mnist",
 		Iters: 100, Batch: 16, LR: 0.05,
 		Faults: 0.1, Endurance: 0, Headroom: 1.5,
+		RepairPolicy: "paper",
 	}
 }
 
@@ -41,6 +44,7 @@ func TestValidateFlags(t *testing.T) {
 		{"negative detect interval", func(o *options) { o.DetectEvery = -1 }, "-detect-every"},
 		{"negative checkpoint interval", func(o *options) { o.CheckpointEvery = -2 }, "-checkpoint-every"},
 		{"nonexistent resume path", func(o *options) { o.Resume = filepath.Join(t.TempDir(), "missing.ck") }, "-resume"},
+		{"unknown repair policy", func(o *options) { o.RepairPolicy = "magic" }, "-repair-policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -81,5 +85,17 @@ func TestValidateBoundaryValues(t *testing.T) {
 	o.Faults = 1
 	if err := o.validate(); err != nil {
 		t.Fatalf("faults=1 rejected: %v", err)
+	}
+}
+
+// Every registered repair policy must pass flag validation — the flag's
+// accepted values and the repair registry cannot drift apart.
+func TestValidateAcceptsAllRepairPolicies(t *testing.T) {
+	for _, name := range repair.Names() {
+		o := valid()
+		o.RepairPolicy = name
+		if err := o.validate(); err != nil {
+			t.Errorf("policy %q rejected: %v", name, err)
+		}
 	}
 }

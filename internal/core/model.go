@@ -6,6 +6,7 @@ import (
 	"rramft/internal/fault"
 	"rramft/internal/mapping"
 	"rramft/internal/nn"
+	"rramft/internal/repair"
 	"rramft/internal/tensor"
 	"rramft/internal/xrand"
 )
@@ -45,6 +46,54 @@ func (m *Model) RCSBindings() []*StoreBinding {
 		}
 	}
 	return out
+}
+
+// RepairTarget builds the repair layer's view of the model: every
+// crossbar-backed binding in model order, boundary lane ownership flags,
+// and the re-orderable boundaries whose both sides live on crossbars.
+// With withRefs, each binding also captures a reference weight snapshot
+// (the golden image restores re-program from and magnitude lane costs
+// price against) plus the pruned fraction at capture time. The snapshot is
+// taken now: call RepairTarget when the model's weights are the ones
+// repair should preserve.
+func (m *Model) RepairTarget(withRefs bool) *repair.Target {
+	t := &repair.Target{}
+	index := make(map[int]int, len(m.Bindings)) // model binding index → target index
+	for bi, b := range m.Bindings {
+		if b.Store == nil {
+			continue
+		}
+		rb := &repair.Binding{Store: b.Store, Sparsity: b.Sparsity, IsConv: b.IsConv}
+		if withRefs {
+			rb.Ref = b.Store.WeightSnapshot()
+			rows, cols := b.Store.Shape()
+			pruned := 0
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					if !b.Store.Kept(i, j) {
+						pruned++
+					}
+				}
+			}
+			rb.BaseSparsity = float64(pruned) / float64(rows*cols)
+		}
+		index[bi] = len(t.Bindings)
+		t.Bindings = append(t.Bindings, rb)
+	}
+	for _, bd := range m.Boundaries {
+		li, lok := index[bd.Left]
+		ri, rok := index[bd.Right]
+		if lok {
+			t.Bindings[li].ColBound = true
+		}
+		if rok {
+			t.Bindings[ri].RowBound = true
+		}
+		if lok && rok {
+			t.Boundaries = append(t.Boundaries, [2]int{li, ri})
+		}
+	}
+	return t
 }
 
 // HWStats aggregates write-traffic counters over all crossbars of a model.

@@ -3,16 +3,14 @@ package core
 import (
 	"fmt"
 	"io"
-	"math"
 
 	"rramft/internal/dataset"
 	"rramft/internal/detect"
-	"rramft/internal/mapping"
 	"rramft/internal/metrics"
 	"rramft/internal/nn"
 	"rramft/internal/obs"
-	"rramft/internal/prune"
 	"rramft/internal/remap"
+	"rramft/internal/repair"
 	"rramft/internal/train"
 	"rramft/internal/xrand"
 )
@@ -74,6 +72,18 @@ type TrainConfig struct {
 	// weights whose surroundings have compensated for them, costing a
 	// transient that may never be repaid.
 	RemapPhases int
+
+	// RepairPolicy selects the maintenance pipeline the phases run
+	// through (nil = repair.Paper, the paper's Fig. 2 flow). Alternative
+	// policies — repair.GoldenImage's reference restore + deviant
+	// disconnect, repair.DropConnect's disconnect-only fault masking —
+	// plug in here; the -repair-policy flag wires this in rramft-train.
+	RepairPolicy repair.Policy
+	// MagnitudeRemap switches boundary re-mapping from the paper's binary
+	// kept-on-fault conflict costs to serving-grade magnitude lane costs
+	// priced against a per-phase weight snapshot (repair.Config
+	// MagnitudeCosts).
+	MagnitudeRemap bool
 
 	// FaultAwarePruning is an extension beyond the paper: the pruning
 	// mask spends its sparsity budget on weights whose cells were
@@ -156,6 +166,11 @@ type session struct {
 	nextIter   int
 	startStats HWStats
 	resumed    bool
+
+	// maintainFn runs one maintenance phase (test seam: the differential
+	// test swaps in a pre-refactor copy to prove the repair.Controller
+	// path bit-identical). newSession wires the real maintain.
+	maintainFn func(*Model, TrainConfig, *RunResult, int, *xrand.Stream)
 }
 
 // newSession wires up a fresh run (iteration 1, empty curve).
@@ -176,6 +191,7 @@ func newSession(m *Model, ds *dataset.Dataset, cfg TrainConfig) *session {
 		remapRng:   rng.Split("remap"),
 		nextIter:   1,
 		startStats: m.HardwareStats(),
+		maintainFn: maintain,
 	}
 	s.opt.Momentum = cfg.Momentum
 	if cfg.Threshold != nil {
@@ -214,7 +230,7 @@ func (s *session) run() *RunResult {
 		s.phase++
 		offCfg := cfg
 		offCfg.OracleDetection = true // off-line test achieves 100%/100%
-		maintain(m, offCfg, res, s.phase, s.remapRng)
+		s.maintainFn(m, offCfg, res, s.phase, s.remapRng)
 	}
 
 	for it := s.nextIter; it <= cfg.Iters; it++ {
@@ -257,7 +273,7 @@ func (s *session) run() *RunResult {
 		if cfg.Detect != nil && cfg.DetectEvery > 0 && it%cfg.DetectEvery == 0 {
 			res.DetectionPhases++
 			s.phase++
-			maintain(m, cfg, res, s.phase, s.remapRng)
+			s.maintainFn(m, cfg, res, s.phase, s.remapRng)
 		}
 
 		// Checkpoint after everything the iteration does (update, eval,
@@ -294,183 +310,60 @@ func (s *session) run() *RunResult {
 }
 
 // maintain executes one maintenance phase: detection → pruning → re-mapping
-// (Fig. 2's right-hand loop). phase is the 1-based maintenance count; the
-// pruning target ramps up geometrically across phases (Han-style iterative
-// pruning — pruning the full target in one shot mid-training permanently
-// cripples the network, since pruned weights are frozen).
+// (Fig. 2's right-hand loop), driven through the shared repair.Controller.
+// phase is the 1-based maintenance count; the Paper policy ramps the
+// pruning target geometrically across phases (Han-style iterative pruning —
+// pruning the full target in one shot mid-training permanently cripples the
+// network, since pruned weights are frozen). Detection scoring — the
+// journal's "detect_score" points and the detect_tp/fp/fn counters — stays
+// here, injected through the controller's OnDetect hook, because ground
+// truth is a training-side concept the repair layer never sees.
 func maintain(m *Model, cfg TrainConfig, res *RunResult, phase int, rng *xrand.Stream) {
 	mSpan := obs.Span("maintain")
 	defer mSpan.End()
 	if obs.MetricsEnabled() {
 		cMaintainPhases.Inc()
 	}
-	// Phase 1: update the fault-free/faulty status of RRAM cells.
-	dSpan := obs.Span("detect")
-	for _, b := range m.RCSBindings() {
-		if cfg.OracleDetection {
-			b.Store.SetEstimatedFaults(b.Store.Crossbar().FaultMap())
-			continue
-		}
-		dres := b.Store.RunDetection(*cfg.Detect)
-		score := detect.Score(dres.Pred, b.Store.Crossbar().FaultMap())
-		res.DetectionScore.Add(score)
-		if obs.MetricsEnabled() {
-			cDetectTP.Add(int64(score.TP))
-			cDetectFP.Add(int64(score.FP))
-			cDetectFN.Add(int64(score.FN))
-		}
-		if obs.Enabled() {
-			obs.Emit("detect_score", map[string]float64{
-				"phase":  float64(phase),
-				"tp":     float64(score.TP),
-				"fp":     float64(score.FP),
-				"fn":     float64(score.FN),
-				"cycles": float64(dres.CyclesTotal),
-			})
-		}
+	pol := cfg.RepairPolicy
+	if pol == nil {
+		pol = repair.Paper{}
 	}
-	dSpan.End()
-	// Phase 2: compute the *prospective* pruning distribution P from the
-	// current effective weights at a ramped sparsity target (½, ¾, ⅞, …
-	// of the final target across phases). Unless disabled, detected-
-	// faulty cells get score zero — an SA1 cell reads ±WMax no matter
-	// how useless the weight is, so raw read magnitudes are artifacts.
-	ramp := 1 - math.Pow(0.5, float64(phase))
-	psSpan := obs.Span("prune_score")
-	masks := map[*StoreBinding]*prune.Mask{}
-	for _, b := range m.RCSBindings() {
-		if b.Sparsity <= 0 {
-			continue
-		}
-		masks[b] = pruningMask(b, cfg, ramp)
+	rcfg := repair.Config{
+		Oracle:            cfg.OracleDetection,
+		Remap:             cfg.Remap,
+		RemapModel:        cfg.RemapModel,
+		RemapPhases:       cfg.RemapPhases,
+		FaultAwarePruning: cfg.FaultAwarePruning,
+		MagnitudeCosts:    cfg.MagnitudeRemap,
+		Restore:           pol.NeedsReference(),
+		StageSpans:        true,
 	}
-	psSpan.End()
-
-	// Phase 3: re-order neurons boundary by boundary against the
-	// prospective masks, moving kept weights off (estimated) faulty
-	// cells and parking prunable weights on them.
-	if cfg.Remap != nil && (cfg.RemapPhases == 0 || phase <= cfg.RemapPhases) {
-		rSpan := obs.Span("remap")
-		for _, bd := range m.Boundaries {
-			lb, rb := m.Bindings[bd.Left], m.Bindings[bd.Right]
-			left, right := lb.Store, rb.Store
-			if left == nil || right == nil {
-				continue
+	if cfg.Detect != nil {
+		rcfg.Detect = *cfg.Detect
+	}
+	ctrl := &repair.Controller{
+		Target: m.RepairTarget(pol.NeedsReference() || cfg.MagnitudeRemap),
+		Policy: pol,
+		Config: rcfg,
+		OnDetect: func(b *repair.Binding, dres *detect.Result) {
+			score := detect.Score(dres.Pred, b.Store.Crossbar().FaultMap())
+			res.DetectionScore.Add(score)
+			if obs.MetricsEnabled() {
+				cDetectTP.Add(int64(score.TP))
+				cDetectFP.Add(int64(score.FP))
+				cDetectFN.Add(int64(score.FN))
 			}
-			fl := left.FaultByLogicalRows()
-			fr := right.FaultByLogicalCols()
-			if fl == nil || fr == nil {
-				continue // no fault estimate yet
+			if obs.Enabled() {
+				obs.Emit("detect_score", map[string]float64{
+					"phase":  float64(phase),
+					"tp":     float64(score.TP),
+					"fp":     float64(score.FP),
+					"fn":     float64(score.FN),
+					"cycles": float64(dres.CyclesTotal),
+				})
 			}
-			_, n := left.Shape()
-			conf := remap.BuildConflicts(remap.BoundaryInputs{
-				N:          n,
-				KeepLeft:   keepBool(left, masks[lb]),
-				FaultLeft:  fl,
-				KeepRight:  keepBool(right, masks[rb]),
-				FaultRight: fr,
-				Model:      cfg.RemapModel,
-			})
-			perm := cfg.Remap.Optimize(conf, left.ColPerm(), rng)
-			// Left's column permutation and right's row permutation
-			// move in lock-step; skip when the optimizer found nothing
-			// better than the current placement (saving the
-			// re-programming writes).
-			if conf.Cost(perm) >= conf.Cost(left.ColPerm()) {
-				continue
-			}
-			res.RemapWrites += int64(left.SetColPerm(perm))
-			res.RemapWrites += int64(right.SetRowPerm(perm))
-		}
-		rSpan.End()
+		},
 	}
-
-	// Phase 4: recompute and install the final pruning masks under the
-	// new placement — weights that escaped faulty cells regain their
-	// real magnitudes; faults that could not be moved under zeros are
-	// neutralized by the disconnect. Masks are monotone across phases
-	// (pruned weights stay pruned, Han-style), which keeps noisy
-	// detection estimates from churning the mask phase over phase.
-	piSpan := obs.Span("prune_install")
-	defer piSpan.End()
-	for _, b := range m.RCSBindings() {
-		if b.Sparsity <= 0 {
-			continue
-		}
-		mask := pruningMask(b, cfg, ramp)
-		old := b.Store.KeepMask()
-		budget := len(mask.Keep) - mask.CountKept()
-		final := prune.NewMask(mask.Rows, mask.Cols)
-		allow := budget
-		for i := range final.Keep {
-			if !old.V[i] {
-				final.Keep[i] = false
-				allow--
-			}
-		}
-		for i := range final.Keep {
-			if allow <= 0 {
-				break
-			}
-			if !mask.Keep[i] && final.Keep[i] {
-				final.Keep[i] = false
-				allow--
-			}
-		}
-		b.Store.SetPruneMask(final)
-	}
-}
-
-// pruningMask scores the binding's weights and cuts the ramped sparsity
-// target. Detected-faulty cells score zero unless FaultBlindPruning.
-func pruningMask(b *StoreBinding, cfg TrainConfig, ramp float64) *prune.Mask {
-	score := b.Store.WeightSnapshot()
-	if cfg.FaultAwarePruning {
-		rows, cols := b.Store.Shape()
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				if b.Store.EstimatedFaultAt(i, j).IsFault() {
-					score.Set(i, j, 0)
-				}
-			}
-		}
-	}
-	sparsity := b.Sparsity * ramp
-	if cfg.FaultAwarePruning {
-		// Fault coverage floor: the budget never leaves a detected
-		// fault un-neutralized while the final target allows covering
-		// it.
-		if frac := estFaultFraction(b.Store); frac > sparsity && frac < b.Sparsity {
-			sparsity = frac
-		} else if frac >= b.Sparsity {
-			sparsity = b.Sparsity
-		}
-	}
-	if sparsity >= 1 {
-		sparsity = 0.99
-	}
-	return prune.MagnitudeMask(score, sparsity)
-}
-
-// estFaultFraction returns the fraction of the store's cells estimated
-// faulty (0 before any detection).
-func estFaultFraction(s *mapping.CrossbarStore) float64 {
-	est := s.EstimatedFaults()
-	if est == nil {
-		return 0
-	}
-	return est.FaultFraction()
-}
-
-// keepBool converts a pruning mask to the remap keep matrix; a nil mask
-// keeps everything.
-func keepBool(s *mapping.CrossbarStore, m *prune.Mask) *remap.BoolMat {
-	rows, cols := s.Shape()
-	out := remap.NewBoolMat(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			out.Set(i, j, m == nil || m.At(i, j))
-		}
-	}
-	return out
+	st := ctrl.RunPhase(phase, rng)
+	res.RemapWrites += int64(st.RemapWrites)
 }

@@ -66,6 +66,7 @@ var Registry = map[string]Generator{
 	"headline": Headline,
 	"ablation": Ablations,
 	"serve":    ServingUnderFaults,
+	"policies": RepairPolicies,
 }
 
 // IDs returns the registered experiment ids in sorted order.

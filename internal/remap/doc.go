@@ -15,7 +15,7 @@
 // exchanges (HillClimb) inside a genetic loop (Genetic); because the
 // per-boundary subproblem is a linear assignment problem, this package
 // also provides an exact Hungarian solver as an upper-bound ablation
-// (DESIGN.md §11 discusses when the heuristics stop short of it).
+// (DESIGN.md §12 discusses when the heuristics stop short of it).
 //
 // Installing a found permutation is internal/mapping's job — and it is the
 // expensive part, paid in real crossbar writes that age the cells the

@@ -1,0 +1,55 @@
+package remap
+
+import (
+	"fmt"
+	"testing"
+
+	"rramft/internal/testkit"
+)
+
+// genConflicts draws a small random assignment-cost matrix. Dimensions and
+// cost magnitudes scale with the trial size so failures shrink to tiny
+// matrices.
+func genConflicts(g *testkit.Gen) *Conflicts {
+	n := g.Dim(2, 6)
+	maxCost := 1 + g.Size()*4
+	c := &Conflicts{N: n, C: make([]int, n*n)}
+	for i := range c.C {
+		c.C[i] = g.Intn(maxCost)
+	}
+	g.Logf("n=%d maxCost=%d C=%v", n, maxCost, c.C)
+	return c
+}
+
+// TestHungarianNeverWorseThanGenetic pins the optimizer hierarchy the
+// repair layer relies on: the Hungarian method solves the assignment
+// problem exactly, so on any conflict matrix its cost is a lower bound on
+// what the genetic search can reach. The free-side remap stage depends on
+// this — it runs Hungarian without a fallback comparison against other
+// optimizers.
+func TestHungarianNeverWorseThanGenetic(t *testing.T) {
+	testkit.ForAll(t, testkit.Config{Trials: 60, MaxSize: 8}, func(g *testkit.Gen) error {
+		c := genConflicts(g)
+		init := g.Perm(c.N)
+		g.Logf("init=%v", init)
+
+		hung := Hungarian{}.Optimize(c, init, nil)
+		gen := Genetic{}.Optimize(c, init, g.Stream("ga"))
+		if !IsPermutation(hung) {
+			return fmt.Errorf("hungarian returned non-permutation %v", hung)
+		}
+		if !IsPermutation(gen) {
+			return fmt.Errorf("genetic returned non-permutation %v", gen)
+		}
+		hc, gc := c.Cost(hung), c.Cost(gen)
+		if hc > gc {
+			return fmt.Errorf("hungarian cost %d worse than genetic %d (hung %v, gen %v)", hc, gc, hung, gen)
+		}
+		// Both must respect the Optimizer contract: never worse than the
+		// initial placement.
+		if ic := c.Cost(init); hc > ic || gc > ic {
+			return fmt.Errorf("optimizer regressed init cost %d: hungarian %d, genetic %d", ic, hc, gc)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,93 @@
+package repair
+
+import (
+	"rramft/internal/detect"
+	"rramft/internal/remap"
+)
+
+// Default repair tolerances, in conductance levels. DefaultRestoreTol is
+// how far a kept weight may drift from the reference before a restore
+// rewrites it — kept well above typical write noise but tight enough that
+// perm-install churn cannot accumulate visible error. DefaultAdaptTol is
+// the margin for treating a stuck cell as adapted (its value still serves
+// the reference weight) in both the re-mapping conflict inputs and the
+// deviant-fault disconnect.
+const (
+	DefaultRestoreTol = 0.1
+	DefaultAdaptTol   = 0.5
+)
+
+// Config parameterizes one maintenance pass, for every policy. Policies
+// read the subset that concerns them; the zero value is usable after
+// WithDefaults. Fields deliberately mirror the union of the old
+// core.TrainConfig maintenance knobs and serve.RepairConfig, so either
+// consumer can express its historical behaviour — and opt into the other's.
+type Config struct {
+	// Detect parameterizes the on-line detection run per crossbar.
+	// Zero-valued fields are filled from detect.DefaultConfig via
+	// WithDefaults, so a partially specified config cannot panic the
+	// maintenance loop.
+	Detect detect.Config
+	// Oracle substitutes ground-truth fault maps for the detector — the
+	// detection-quality ablation, also used by deterministic tests.
+	Oracle bool
+
+	// Remap selects the neuron re-ordering optimizer used by remapping
+	// stages (nil disables re-mapping). RemapModel picks the conflict
+	// cost model for the paper's binary kept-on-fault costs; it is unused
+	// when a stage prices lanes by magnitude instead.
+	Remap      remap.Optimizer
+	RemapModel remap.CostModel
+	// RemapPhases limits re-mapping to the first K maintenance phases
+	// (0 = no limit). Early phases fix the placement before the network
+	// has deeply adapted to it; re-mapping late relocates weights whose
+	// surroundings have compensated for them, costing a transient that
+	// may never be repaid. Honoured by the Paper policy.
+	RemapPhases int
+
+	// FaultAwarePruning spends the pruning budget on weights whose cells
+	// were detected faulty first (Paper policy's ramped masks only; the
+	// reference mask deliberately does not zero-score faults — see
+	// RefMaskStage).
+	FaultAwarePruning bool
+	// MagnitudeCosts switches the Paper policy's boundary re-mapping from
+	// binary kept-on-fault conflict costs to the serving layer's
+	// expected-weight-error lane costs. Requires a Target with reference
+	// images; ignored otherwise.
+	MagnitudeCosts bool
+
+	// Restore enables golden-image repair: kept weights are re-programmed
+	// from the Target's reference snapshots and still-deviant cells are
+	// disconnected. Without it (or without references) the GoldenImage
+	// policy degrades to disconnect-only repair.
+	Restore bool
+	// RestoreTol and AdaptTol are the restore/adaptation tolerances in
+	// conductance levels (defaults DefaultRestoreTol / DefaultAdaptTol).
+	RestoreTol float64
+	AdaptTol   float64
+
+	// StageSpans wraps every stage in an obs.Span named after the stage
+	// ("detect", "prune_score", "remap", …) — the training journal's span
+	// tree. Serving leaves it off: its passes emit one flat "repair" span
+	// and must not change journal shape with policy choice.
+	StageSpans bool
+}
+
+// WithDefaults returns the config with zero fields filled and
+// out-of-range fields clamped: the detection sub-config is completed via
+// detect.Config.WithDefaults, non-positive tolerances become the package
+// defaults, and a negative RemapPhases (nonsensical: it would disable
+// re-mapping while looking enabled) becomes 0 (no limit).
+func (c Config) WithDefaults() Config {
+	c.Detect = c.Detect.WithDefaults()
+	if c.RestoreTol <= 0 {
+		c.RestoreTol = DefaultRestoreTol
+	}
+	if c.AdaptTol <= 0 {
+		c.AdaptTol = DefaultAdaptTol
+	}
+	if c.RemapPhases < 0 {
+		c.RemapPhases = 0
+	}
+	return c
+}

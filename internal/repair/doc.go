@@ -1,0 +1,20 @@
+// Package repair owns the substrate-maintenance pipeline shared by
+// training (core) and serving (serve): on-line fault detection, pruning-mask
+// refresh, neuron re-ordering re-mapping, golden-image restore and fault
+// disconnect — the right-hand loop of the paper's Fig. 2, plus the
+// serving-layer extensions layered on top of it.
+//
+// The pipeline is expressed as an ordered list of composable Stages chosen
+// by a Policy (Paper, GoldenImage, DropConnect) and executed by a
+// Controller against a Target — the substrate-facing view of a model
+// (crossbar stores, optional reference weight images, boundary topology).
+// Consumers inject their environment through three hooks on the Controller:
+// Step wraps every substrate touch (serve injects its lock/epoch protocol;
+// training runs steps inline), OnDetect observes each detection result
+// (training scores it against ground truth for its journal), and OnDegraded
+// tracks the kept-weights-on-faults window (serve flips its degraded flag).
+//
+// The package sits below core and serve and imports neither — a layering
+// rule enforced by scripts/ci.sh. See DESIGN.md §10 ("Unified repair
+// layer").
+package repair

@@ -1,0 +1,37 @@
+package repair
+
+// Stats summarizes one maintenance pass (all fields are additive
+// counters, so passes accumulate with Add).
+type Stats struct {
+	// Steps counts substrate touches — under a locking Step hook these
+	// are lock acquisitions, the interleaving points inference batches
+	// slot into.
+	Steps int
+	// DetectCycles is the total detection cost in test cycles.
+	DetectCycles int
+	// EstimatedFaults is the number of cells estimated faulty after the
+	// detection steps; KeptOnFaults the subset sitting under kept weights
+	// (the degraded-mode trigger).
+	EstimatedFaults int
+	KeptOnFaults    int
+	// Disconnected counts kept weights pruned off faulty cells;
+	// RestoreWrites counts golden-image re-programming writes;
+	// RemapWrites counts re-programming writes caused by permutation
+	// installs (RemapInstalls of them happened).
+	Disconnected  int
+	RestoreWrites int
+	RemapWrites   int
+	RemapInstalls int
+}
+
+// Add accumulates another pass's stats.
+func (s *Stats) Add(o Stats) {
+	s.Steps += o.Steps
+	s.DetectCycles += o.DetectCycles
+	s.EstimatedFaults += o.EstimatedFaults
+	s.KeptOnFaults += o.KeptOnFaults
+	s.Disconnected += o.Disconnected
+	s.RestoreWrites += o.RestoreWrites
+	s.RemapWrites += o.RemapWrites
+	s.RemapInstalls += o.RemapInstalls
+}

@@ -1,0 +1,54 @@
+package repair
+
+import (
+	"rramft/internal/mapping"
+	"rramft/internal/tensor"
+)
+
+// Binding is one crossbar-backed weight matrix as the repair layer sees
+// it: the store itself plus the repair-relevant facts its owner recorded
+// about it. core.Model.RepairTarget builds these from its StoreBindings.
+type Binding struct {
+	Store *mapping.CrossbarStore
+	// Sparsity is the layer's pruning target (0 disables ramped pruning
+	// for the layer); IsConv marks convolution kernels, whose lanes are
+	// never free-side re-mapped (their logical geometry is patch space,
+	// not neuron space).
+	Sparsity float64
+	IsConv   bool
+	// Ref is the golden reference weight image restores re-program from
+	// and magnitude lane costs price against (nil = none captured).
+	Ref *tensor.Dense
+	// BaseSparsity is the pruned fraction at the time Ref was captured —
+	// the reference mask's base budget. Using the live mask instead would
+	// ratchet: every deviant disconnect raises "current" sparsity, so
+	// each successive pass would prune more healthy weights.
+	BaseSparsity float64
+	// RowBound / ColBound mark lane sides a neuron boundary ties to an
+	// adjacent crossbar; the complementary sides are free and may be
+	// re-mapped independently (FreeSideRemapStage).
+	RowBound, ColBound bool
+}
+
+// Target is the substrate-facing view of one model: every crossbar-backed
+// binding in model order, plus the re-orderable neuron boundaries between
+// them. Boundaries index into Bindings: [left, right] means left's logical
+// columns and right's logical rows are the same neurons.
+type Target struct {
+	Bindings   []*Binding
+	Boundaries [][2]int
+}
+
+// HasRefs reports whether every binding carries a reference image (and
+// there is at least one) — the precondition for golden-image repair.
+func (t *Target) HasRefs() bool {
+	if len(t.Bindings) == 0 {
+		return false
+	}
+	for _, b := range t.Bindings {
+		if b.Ref == nil {
+			return false
+		}
+	}
+	return true
+}

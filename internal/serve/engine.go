@@ -39,6 +39,7 @@ import (
 
 	"rramft/internal/core"
 	"rramft/internal/obs"
+	"rramft/internal/repair"
 	"rramft/internal/tensor"
 )
 
@@ -99,9 +100,10 @@ func DefaultConfig() Config {
 	return Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond, QueueCap: 64, Timeout: time.Second}
 }
 
-// withDefaults fills zero fields from DefaultConfig (the same
-// clamp-don't-surprise policy as detect.Config.WithDefaults).
-func (c Config) withDefaults() Config {
+// WithDefaults fills zero fields from DefaultConfig (the same
+// clamp-don't-surprise policy as detect.Config.WithDefaults and
+// repair.Config.WithDefaults).
+func (c Config) WithDefaults() Config {
 	d := DefaultConfig()
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = d.MaxBatch
@@ -136,12 +138,18 @@ type pending struct {
 // NewEngine; submit with Submit or Infer; start background repair with
 // StartMaintenance; stop everything with Close.
 type Engine struct {
-	cfg      Config
-	model    *core.Model
-	inSize   int
-	classes  int
-	refs     []*tensor.Dense // golden weight image per RCS binding, for repair
-	baseSpar []float64       // pruned fraction per RCS binding at construction
+	cfg     Config
+	model   *core.Model
+	inSize  int
+	classes int
+	// target is the repair layer's view of the model, captured at
+	// construction with reference weight snapshots (the golden image
+	// repair re-programs from) and construction-time sparsity budgets.
+	target *repair.Target
+	// repairPhase counts repair passes (the phase number handed to the
+	// repair controller; only the single-writer maintenance path touches
+	// it).
+	repairPhase int
 
 	queue chan *pending
 
@@ -180,29 +188,17 @@ type Engine struct {
 // from) and derives the class count from the network shape. The engine
 // owns the model's substrate from here on: all other access must stop.
 func NewEngine(m *core.Model, inSize int, cfg Config) *Engine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	e := &Engine{
 		cfg:       cfg,
 		model:     m,
 		inSize:    inSize,
 		classes:   m.Net.OutSizeFor(inSize),
+		target:    m.RepairTarget(true),
 		queue:     make(chan *pending, cfg.QueueCap),
 		done:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		maintDone: make(chan struct{}),
-	}
-	for _, b := range m.RCSBindings() {
-		e.refs = append(e.refs, b.Store.WeightSnapshot())
-		rows, cols := b.Store.Shape()
-		pruned := 0
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				if !b.Store.Kept(i, j) {
-					pruned++
-				}
-			}
-		}
-		e.baseSpar = append(e.baseSpar, float64(pruned)/float64(rows*cols))
 	}
 	go e.run()
 	return e

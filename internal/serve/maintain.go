@@ -2,48 +2,35 @@ package serve
 
 import (
 	"errors"
-	"math"
 	"time"
 
-	"rramft/internal/core"
 	"rramft/internal/detect"
 	"rramft/internal/fault"
 	"rramft/internal/obs"
-	"rramft/internal/prune"
 	"rramft/internal/remap"
-	"rramft/internal/tensor"
+	"rramft/internal/repair"
 	"rramft/internal/xrand"
 )
 
-// RepairConfig parameterizes the background repair of a serving engine.
-// The zero value is usable (disconnect-only repair with default detection);
-// DefaultRepairConfig returns the recommended full configuration.
+// RepairConfig parameterizes the background repair of a serving engine:
+// the pass period, the policy choosing the pipeline, and the embedded
+// repair.Config the stages read. The zero value is usable (golden-image
+// policy without Restore degrades to disconnect-only repair with default
+// detection); DefaultRepairConfig returns the recommended full
+// configuration.
 type RepairConfig struct {
 	// Every is the period between repair passes on the engine clock
 	// (default 50ms).
 	Every time.Duration
-	// Detect parameterizes the on-line detection run per crossbar.
-	// Zero-valued fields are filled from detect.DefaultConfig via
-	// Config.WithDefaults, so a partially specified config cannot panic
-	// the maintenance goroutine.
-	Detect detect.Config
-	// Oracle substitutes ground-truth fault maps for the detector — the
-	// detection-quality ablation, also used by deterministic tests.
-	Oracle bool
-	// Remap selects the neuron re-ordering optimizer that moves kept
-	// weights off faulty cells at repair time (nil disables re-mapping;
-	// only meaningful together with Restore, since without a reference
-	// image a disconnect-only repair already leaves no kept weight on a
-	// detected fault). Serving-time re-mapping prices assignments by
-	// expected weight error against the reference image (see laneCostCols)
-	// rather than the paper's binary kept-on-fault count.
-	Remap remap.Optimizer
-	// Restore enables golden-image repair: after faults are disconnected
-	// and neurons re-mapped, kept weights are re-programmed from the
-	// reference snapshot the engine captured at construction. Without it
-	// repair degrades gracefully (faulty weights read zero) but never
-	// recovers lost weights.
-	Restore bool
+	// Policy selects the maintenance pipeline each pass runs (nil =
+	// repair.GoldenImage, serving's historical reference-restore repair).
+	// The -repair-policy flag wires this in rramft-serve.
+	Policy repair.Policy
+	// Config is the stage configuration shared with the repair layer
+	// (detection, re-mapping, restore tolerances…). Its fields promote:
+	// cfg.Detect, cfg.Oracle, cfg.Remap, cfg.Restore read and assign
+	// exactly as they did when they lived on RepairConfig directly.
+	repair.Config
 }
 
 // DefaultRepairConfig returns the full repair configuration: 50ms period,
@@ -57,69 +44,34 @@ func DefaultRepairConfig() RepairConfig {
 	d := detect.DefaultConfig()
 	d.TestSize = 4
 	d.SelectedCells = true
-	return RepairConfig{Every: 50 * time.Millisecond, Detect: d, Remap: remap.Genetic{}, Restore: true}
+	return RepairConfig{
+		Every:  50 * time.Millisecond,
+		Config: repair.Config{Detect: d, Remap: remap.Genetic{}, Restore: true},
+	}
 }
 
-// withDefaults fills zero fields the way Config.withDefaults does.
-func (c RepairConfig) withDefaults() RepairConfig {
+// WithDefaults fills zero fields: the period from DefaultRepairConfig and
+// the embedded stage config via repair.Config.WithDefaults, so a partially
+// specified config cannot panic the maintenance goroutine.
+func (c RepairConfig) WithDefaults() RepairConfig {
 	if c.Every <= 0 {
 		c.Every = 50 * time.Millisecond
 	}
-	c.Detect = c.Detect.WithDefaults()
+	c.Config = c.Config.WithDefaults()
 	return c
 }
 
-// Repair tolerances, in conductance levels. restoreTolLevels is how far a
-// kept weight may drift from the reference before RestoreReference rewrites
-// it — kept well above typical write noise but tight enough that perm-
-// install churn cannot accumulate visible error. adaptTolLevels is the
-// margin for treating a stuck cell as adapted (its value still serves the
-// reference weight) in both the re-mapping conflict inputs and the
-// deviant-fault disconnect.
-const (
-	restoreTolLevels = 0.1
-	adaptTolLevels   = 0.5
-)
-
-// RepairStats summarizes one repair pass.
-type RepairStats struct {
-	// Steps counts substrate-lock acquisitions (the interleaving points).
-	Steps int
-	// DetectCycles is the total detection cost in test cycles.
-	DetectCycles int
-	// EstimatedFaults is the number of cells estimated faulty after the
-	// detection steps; KeptOnFaults the subset sitting under kept weights
-	// (the degraded-mode trigger).
-	EstimatedFaults int
-	KeptOnFaults    int
-	// Disconnected counts kept weights pruned off faulty cells;
-	// RestoreWrites counts golden-image re-programming writes;
-	// RemapWrites counts re-programming writes caused by permutation
-	// installs (RemapInstalls of them happened).
-	Disconnected  int
-	RestoreWrites int
-	RemapWrites   int
-	RemapInstalls int
-}
-
-// add accumulates another pass's stats (all fields are additive counters).
-func (s *RepairStats) add(o RepairStats) {
-	s.Steps += o.Steps
-	s.DetectCycles += o.DetectCycles
-	s.EstimatedFaults += o.EstimatedFaults
-	s.KeptOnFaults += o.KeptOnFaults
-	s.Disconnected += o.Disconnected
-	s.RestoreWrites += o.RestoreWrites
-	s.RemapWrites += o.RemapWrites
-	s.RemapInstalls += o.RemapInstalls
-}
+// RepairStats summarizes one repair pass. It is the repair layer's Stats;
+// the alias keeps the serving API stable across the extraction of
+// internal/repair.
+type RepairStats = repair.Stats
 
 // StartMaintenance launches the single-writer maintenance goroutine: every
 // cfg.Every on the engine clock it runs one RepairPass against the live
 // substrate. There is exactly one maintenance writer per engine — a second
 // call errors. Close stops the loop.
 func (e *Engine) StartMaintenance(cfg RepairConfig, rng *xrand.Stream) error {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if !e.maintenance.CompareAndSwap(false, true) {
 		return errors.New("serve: maintenance already started")
 	}
@@ -137,66 +89,40 @@ func (e *Engine) StartMaintenance(cfg RepairConfig, rng *xrand.Stream) error {
 	return nil
 }
 
-// RepairPass runs one full detect → remap → disconnect/restore pass
-// against the live substrate. The pass takes the substrate lock once per
-// step — one store's detection, one boundary's re-mapping install, one
-// store's mask/restore — never across the whole pass, so inference batches
-// interleave between steps and no request waits for a full detect+remap
-// pass. Every step that changes visible substrate state bumps the repair
-// epoch with the lock held; permutations install entirely inside one step,
-// so inference can never read a half-remapped tile.
+// RepairPass runs one full maintenance pass — detect → prune-mask refresh
+// → re-map → restore/disconnect under the default golden-image policy —
+// against the live substrate, through the shared repair.Controller. The
+// engine contributes the concurrency shell: every stage step runs through
+// lockedStep, which takes the substrate lock once per step — one store's
+// detection, one boundary's re-mapping install, one store's mask/restore —
+// never across the whole pass, so inference batches interleave between
+// steps and no request waits for a full detect+remap pass. Every step that
+// changes visible substrate state bumps the repair epoch with the lock
+// held; permutations install entirely inside one step, so inference can
+// never read a half-remapped tile. The degraded flag is raised by the
+// detection stage (via the controller's OnDegraded hook) and lowered when
+// the pass completes.
 //
 // RepairPass is the single-writer maintenance entry point: it must not run
 // concurrently with itself. StartMaintenance's loop is the usual owner;
 // call RepairPass directly only on an engine without a maintenance loop.
 func (e *Engine) RepairPass(cfg RepairConfig, rng *xrand.Stream) RepairStats {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	span := obs.Span("repair")
 	defer span.End()
-	var st RepairStats
-	bindings := e.model.RCSBindings()
-
-	// Detection: one locked step per store. The estimate update is
-	// visible state (pruning decisions read it), and non-oracle detection
-	// perturbs cell values transiently, so every detection step bumps the
-	// epoch.
-	for _, b := range bindings {
-		b := b
-		e.lockedStep(&st, func() bool {
-			if cfg.Oracle {
-				b.Store.SetEstimatedFaults(b.Store.Crossbar().FaultMap())
-			} else {
-				res := b.Store.RunDetection(cfg.Detect)
-				st.DetectCycles += res.CyclesTotal
-			}
-			if est := b.Store.EstimatedFaults(); est != nil {
-				st.EstimatedFaults += est.CountFaulty()
-			}
-			st.KeptOnFaults += b.Store.KeptOnEstimatedFaults()
-			return true
-		})
+	pol := cfg.Policy
+	if pol == nil {
+		pol = repair.GoldenImage{}
 	}
-	if st.KeptOnFaults > 0 {
-		e.setDegraded(true)
+	ctrl := &repair.Controller{
+		Target:     e.target,
+		Policy:     pol,
+		Config:     cfg.Config,
+		Step:       e.lockedStep,
+		OnDegraded: e.setDegraded,
 	}
-
-	if cfg.Restore && len(e.refs) == len(bindings) && len(bindings) > 0 {
-		e.repairWithReference(cfg, rng, bindings, &st)
-	} else {
-		// Disconnect-only repair: neutralize every detected fault under a
-		// kept weight. An SA1 under a kept weight reads ±WMax and poisons
-		// every inference; a zeroed weight merely loses capacity.
-		for _, b := range bindings {
-			b := b
-			e.lockedStep(&st, func() bool {
-				n := b.Store.DisconnectEstimatedFaults()
-				st.Disconnected += n
-				return n > 0
-			})
-		}
-	}
-
-	e.setDegraded(false)
+	e.repairPhase++
+	st := ctrl.RunPhase(e.repairPhase, rng)
 	if obs.MetricsEnabled() {
 		cRepairPasses.Inc()
 	}
@@ -214,294 +140,10 @@ func (e *Engine) RepairPass(cfg RepairConfig, rng *xrand.Stream) RepairStats {
 	return st
 }
 
-// repairWithReference is the golden-image repair flow: prospective
-// fault-aware masks from the reference weights, re-mapping against those
-// masks, then per store mask install + reference re-programming + residual
-// disconnect.
-func (e *Engine) repairWithReference(cfg RepairConfig, rng *xrand.Stream, bindings []*core.StoreBinding, st *RepairStats) {
-	// Prospective masks: reference magnitudes with estimated-faulty cells
-	// scored zero, budget floored at the fault fraction so every detected
-	// fault can sit under a pruned weight. One locked step per store
-	// (reads the fault estimate; mutates nothing).
-	masks := make(map[*core.StoreBinding]*prune.Mask, len(bindings))
-	for i, b := range bindings {
-		i, b := i, b
-		e.lockedStep(st, func() bool {
-			masks[b] = repairMask(b, e.refs[i], e.baseSpar[i])
-			return false
-		})
-	}
-
-	// Re-mapping, boundary by boundary: snapshot the conflict inputs
-	// under one lock, optimize outside any lock (the expensive part), and
-	// install under a second lock — inference proceeds while the
-	// optimizer searches.
-	if cfg.Remap != nil {
-		for _, bd := range e.model.Boundaries {
-			lb, rb := e.model.Bindings[bd.Left], e.model.Bindings[bd.Right]
-			left, right := lb.Store, rb.Store
-			if left == nil || right == nil {
-				continue
-			}
-			li, ri := bindingIndex(bindings, lb), bindingIndex(bindings, rb)
-			if li < 0 || ri < 0 {
-				continue
-			}
-			var conf *remap.Conflicts
-			var base []int
-			e.lockedStep(st, func() bool {
-				fl := left.FaultByLogicalRows()
-				fr := right.FaultByLogicalCols()
-				if fl == nil || fr == nil {
-					return false
-				}
-				conf = laneCostCols(e.refs[li], masks[lb], fl, left.WMax())
-				addConflicts(conf, laneCostRows(e.refs[ri], masks[rb], fr, right.WMax()))
-				base = left.ColPerm()
-				return false
-			})
-			if conf == nil {
-				continue
-			}
-			perm := cfg.Remap.Optimize(conf, base, rng)
-			if conf.Cost(perm) >= conf.Cost(base) {
-				continue // nothing better than the current placement
-			}
-			e.lockedStep(st, func() bool {
-				st.RemapWrites += left.SetColPerm(perm)
-				st.RemapWrites += right.SetRowPerm(perm)
-				st.RemapInstalls++
-				return true
-			})
-		}
-	}
-
-	// Free-side re-mapping: lanes not shared with an adjacent crossbar
-	// (the first store's physical rows, the last store's physical columns)
-	// permute without constraining any other layer, so each is a plain
-	// assignment problem — solved exactly by the Hungarian method rather
-	// than the boundary optimizer. This is where most of the repair's
-	// recovery comes from: a logical lane whose kept weights sit on stuck
-	// cells is relocated wholesale to a healthier physical lane, and the
-	// reference restore below re-programs the moved weights to their
-	// golden values.
-	if cfg.Remap != nil {
-		e.remapFreeSides(cfg, masks, st)
-	}
-
-	// Install + restore, one locked step per store: the prospective mask
-	// re-prunes at the reference's magnitude ordering, the golden image
-	// re-programs every kept weight that drifted or moved, and a
-	// restore-then-verify disconnect catches kept cells still reading far
-	// from the reference — stuck cells whether or not detection flagged
-	// them. Faulty cells still reading their reference value are left
-	// connected — the model trained around its fabrication faults, so
-	// those stuck values are working weights (see
-	// mapping.DisconnectDeviants).
-	for i, b := range bindings {
-		i, b := i, b
-		e.lockedStep(st, func() bool {
-			b.Store.SetPruneMask(masks[b])
-			st.RestoreWrites += b.Store.RestoreReference(e.refs[i], restoreTolLevels)
-			st.Disconnected += b.Store.DisconnectDeviants(e.refs[i], adaptTolLevels)
-			return true
-		})
-	}
-}
-
-// remapFreeSides relocates logical lanes on the model's unbound crossbar
-// sides — row lanes no boundary ties to a predecessor, column lanes no
-// boundary ties to a successor. Each side is an independent one-sided
-// assignment (cost = kept weights landing on estimated faults under the
-// prospective mask), solved exactly with remap.Hungarian. Conflicts are
-// snapshotted under one locked step per side, solved outside any lock, and
-// installed under a second locked step only when strictly cheaper than the
-// current placement.
-func (e *Engine) remapFreeSides(cfg RepairConfig, masks map[*core.StoreBinding]*prune.Mask, st *RepairStats) {
-	rowBound := map[int]bool{} // binding indices whose rows a boundary owns
-	colBound := map[int]bool{} // binding indices whose cols a boundary owns
-	for _, bd := range e.model.Boundaries {
-		colBound[bd.Left] = true
-		rowBound[bd.Right] = true
-	}
-	rcs := e.model.RCSBindings()
-	for bi, b := range e.model.Bindings {
-		b := b
-		if b.Store == nil || b.IsConv {
-			continue
-		}
-		ri := bindingIndex(rcs, b)
-		if ri < 0 {
-			continue
-		}
-		ref := e.refs[ri]
-		rows, cols := b.Store.Shape()
-		if !rowBound[bi] && rows > 1 {
-			e.remapOneSide(st, func() (*remap.Conflicts, []int) {
-				fr := b.Store.FaultByLogicalCols()
-				if fr == nil {
-					return nil, nil
-				}
-				return laneCostRows(ref, masks[b], fr, b.Store.WMax()), b.Store.RowPerm()
-			}, b.Store.SetRowPerm)
-		}
-		if !colBound[bi] && cols > 1 {
-			e.remapOneSide(st, func() (*remap.Conflicts, []int) {
-				fl := b.Store.FaultByLogicalRows()
-				if fl == nil {
-					return nil, nil
-				}
-				return laneCostCols(ref, masks[b], fl, b.Store.WMax()), b.Store.ColPerm()
-			}, b.Store.SetColPerm)
-		}
-	}
-}
-
-// bindingIndex returns b's index in the RCS binding slice (the engine's
-// reference snapshot order), or -1.
-func bindingIndex(bindings []*core.StoreBinding, b *core.StoreBinding) int {
-	for i, x := range bindings {
-		if x == b {
-			return i
-		}
-	}
-	return -1
-}
-
-// remapOneSide runs the snapshot → solve → install protocol for one free
-// side: build reads substrate state (locked), the Hungarian solve runs
-// outside the lock, and install commits the permutation (locked) when it
-// beats the current placement.
-func (e *Engine) remapOneSide(st *RepairStats, build func() (*remap.Conflicts, []int), install func([]int) int) {
-	var conf *remap.Conflicts
-	var base []int
-	e.lockedStep(st, func() bool {
-		conf, base = build()
-		return false
-	})
-	if conf == nil {
-		return
-	}
-	perm := remap.Hungarian{}.Optimize(stayBias(conf, base), base, nil)
-	if conf.Cost(perm) >= conf.Cost(base) {
-		return
-	}
-	e.lockedStep(st, func() bool {
-		st.RemapWrites += install(perm)
-		st.RemapInstalls++
-		return true
-	})
-}
-
-// costQuantum is the conflict-cost quantization: expected weight error is
-// priced in units of WMax/4096, fine enough that real differences survive
-// rounding while lane sums stay far from int overflow.
-const costQuantum = 4096
-
-// cellErr is the expected absolute weight error of serving `want` from a
-// cell with estimated fault kind k. A healthy cell costs nothing (restore
-// programs it to want). An SA0 reads zero, so the full magnitude is lost
-// whether the weight is kept or disconnected. An SA1 reads full scale with
-// the sign register's polarity — the polarity the occupant's last
-// successful write left behind, i.e. sign(want) — so the repair keeps it
-// when want is nearer full scale than zero and disconnects it otherwise:
-// the cost is the better of the two. This magnitude pricing is what lets
-// the optimizer leave adapted faults alone (an SA1 under a near-full-scale
-// weight scores ~0 for its current occupant) while still charging every
-// other lane the true cost of moving onto the same cell.
-func cellErr(want float64, k fault.Kind, wMax float64) float64 {
-	a := math.Abs(want)
-	if a > wMax {
-		a = wMax
-	}
-	switch k {
-	case fault.SA0:
-		return a
-	case fault.SA1:
-		return math.Min(a, wMax-a)
-	}
-	return 0
-}
-
-// laneCostCols builds the column-lane assignment cost matrix: entry (j, p)
-// is the summed expected weight error of serving logical column j's
-// reference weights (zero where keep prunes them) from physical column p's
-// estimated faults. flr is the store's FaultByLogicalRows view ([logical
-// row][physical column]).
-func laneCostCols(ref *tensor.Dense, keep *prune.Mask, flr *fault.Map, wMax float64) *remap.Conflicts {
-	n := ref.Cols
-	c := &remap.Conflicts{N: n, C: make([]int, n*n)}
-	scale := costQuantum / wMax
-	for j := 0; j < n; j++ {
-		for p := 0; p < n; p++ {
-			s := 0.0
-			for i := 0; i < ref.Rows; i++ {
-				if !keep.At(i, j) {
-					continue
-				}
-				s += cellErr(ref.Data[i*n+j], flr.At(i, p), wMax)
-			}
-			c.C[j*n+p] = int(s*scale + 0.5)
-		}
-	}
-	return c
-}
-
-// laneCostRows is the row-lane mirror of laneCostCols: entry (i, p) prices
-// logical row i on physical row p. flc is the store's FaultByLogicalCols
-// view ([physical row][logical column]).
-func laneCostRows(ref *tensor.Dense, keep *prune.Mask, flc *fault.Map, wMax float64) *remap.Conflicts {
-	n := ref.Rows
-	c := &remap.Conflicts{N: n, C: make([]int, n*n)}
-	scale := costQuantum / wMax
-	for i := 0; i < n; i++ {
-		for p := 0; p < n; p++ {
-			s := 0.0
-			for j := 0; j < ref.Cols; j++ {
-				if !keep.At(i, j) {
-					continue
-				}
-				s += cellErr(ref.Data[i*ref.Cols+j], flc.At(p, j), wMax)
-			}
-			c.C[i*n+p] = int(s*scale + 0.5)
-		}
-	}
-	return c
-}
-
-// addConflicts accumulates b into a (the two sides of a shared boundary
-// lane).
-func addConflicts(a, b *remap.Conflicts) {
-	if a.N != b.N {
-		panic("serve: conflict matrices of different boundary sizes")
-	}
-	for i, v := range b.C {
-		a.C[i] += v
-	}
-}
-
-// stayBias returns a copy of the conflict matrix scaled so that, among
-// assignments of equal true cost, the solver prefers leaving lanes where
-// they are: every cost is multiplied by n+1 and the current placement gets
-// a unit discount. Without the bias the Hungarian solver picks an arbitrary
-// optimum and routinely relocates every lane for a one-conflict gain —
-// thousands of re-programming writes, each adding write noise and burning
-// endurance.
-func stayBias(conf *remap.Conflicts, base []int) *remap.Conflicts {
-	n := conf.N
-	out := &remap.Conflicts{N: n, C: make([]int, len(conf.C))}
-	for j := 0; j < n; j++ {
-		for p := 0; p < n; p++ {
-			out.C[j*n+p] = conf.C[j*n+p] * (n + 1)
-		}
-		out.C[j*n+base[j]]--
-	}
-	return out
-}
-
 // lockedStep runs fn under the substrate lock, bumps the repair epoch when
 // fn reports a visible state change, and fires the test seam after the
-// lock is released.
+// lock is released — the Step hook the engine injects into the repair
+// controller.
 func (e *Engine) lockedStep(st *RepairStats, fn func() bool) {
 	e.mu.Lock()
 	if fn() {
@@ -530,51 +172,6 @@ func (e *Engine) setDegraded(on bool) {
 			gDegraded.Set(0)
 		}
 	}
-}
-
-// repairMask scores the binding's weights by *reference* magnitude and cuts
-// at the store's construction-time sparsity (a trained model keeps the
-// budget its training settled on; an unpruned model is not newly pruned at
-// repair time), floored at the *harmful* fault fraction so re-mapping
-// always has enough prunable slots to park faults under. Two deliberate
-// deviations from training's pruningMask, both load-bearing:
-//
-//   - Estimated-faulty cells are NOT zero-scored. Training scores current
-//     reads, where a stuck cell's magnitude is an artifact, but the
-//     reference snapshot records what each weight is supposed to be —
-//     including the stuck values the model adapted to during
-//     fault-tolerant training. Zero-scoring here would prune every
-//     detected fault and undo that adaptation (measured: a 25-point
-//     accuracy drop on a model trained at 5% fabrication faults).
-//   - The base budget is the engine's construction-time sparsity snapshot,
-//     not the live mask. Using the live mask would ratchet: every
-//     deviant-fault disconnect raises "current" sparsity, so each
-//     successive maintenance pass would prune more healthy weights until
-//     the budget swallowed the model. The floor itself stays the raw
-//     estimated fault fraction — a generous budget is load-bearing,
-//     because the slots it opens are the *smallest-reference* weights, and
-//     those are what re-mapping parks faults under; with a tighter budget
-//     the residual disconnect falls on whatever (possibly large) weights
-//     are left stranded on faults.
-func repairMask(b *core.StoreBinding, ref *tensor.Dense, baseSparsity float64) *prune.Mask {
-	rows, cols := b.Store.Shape()
-	faults := 0
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			if b.Store.EstimatedFaultAt(i, j).IsFault() {
-				faults++
-			}
-		}
-	}
-	n := float64(rows * cols)
-	sparsity := baseSparsity
-	if frac := float64(faults) / n; frac > sparsity {
-		sparsity = frac
-	}
-	if sparsity >= 1 {
-		sparsity = 0.99
-	}
-	return prune.MagnitudeMask(ref, sparsity)
 }
 
 // InjectFaultBurst strikes every crossbar with additional stuck-at faults

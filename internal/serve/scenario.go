@@ -121,7 +121,7 @@ func ServeRepairPhases(m *core.Model, ds *dataset.Dataset, cfg ScenarioConfig) *
 		passes = 2
 	}
 	for p := 0; p < passes; p++ {
-		res.Stats.add(e.RepairPass(cfg.Repair, rng))
+		res.Stats.Add(e.RepairPass(cfg.Repair, rng))
 	}
 	res.Repaired = e.AccuracyBatched(ds.TestX, ds.TestY)
 	emitPhase("repaired", res.Repaired, e)

@@ -32,7 +32,7 @@ go build ./...
 # CLI helpers must carry a doc comment (these packages define the
 # user-facing telemetry contract, so undocumented API is a bug), and the
 # README CLI reference must match the binaries' own -help-md output.
-for pkg in internal/obs internal/cliutil; do
+for pkg in internal/obs internal/cliutil internal/repair; do
     undocumented=$(awk '
         /^\/\// { commented = 1; next }
         /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -47,6 +47,18 @@ for pkg in internal/obs internal/cliutil; do
     fi
 done
 scripts/gen_cli_docs.sh -check
+
+# Layering gate: internal/repair is the shared maintenance layer under both
+# the trainer and the serving engine; it must depend on neither (DESIGN.md
+# §10). An import in either direction would be a cycle waiting to happen
+# and would let driver-specific policy leak into the shared stages.
+repair_deps=$(go list -deps ./internal/repair)
+for forbidden in rramft/internal/core rramft/internal/serve; do
+    if echo "$repair_deps" | grep -qx "$forbidden"; then
+        echo "layering gate: internal/repair must not depend on $forbidden" >&2
+        exit 1
+    fi
+done
 
 go test ./...
 go test -race -short ./...
