@@ -56,6 +56,7 @@ func BenchmarkRetrainCount(b *testing.B)        { runExperiment(b, "retrain") }
 func BenchmarkHeadline(b *testing.B)            { runExperiment(b, "headline") }
 func BenchmarkAblations(b *testing.B)           { runExperiment(b, "ablation") }
 func BenchmarkMarchComparison(b *testing.B)     { runExperiment(b, "march") }
+func BenchmarkClusterReplicas(b *testing.B)     { runExperiment(b, "cluster") }
 
 // --- substrate micro-benchmarks ---
 

@@ -10,6 +10,14 @@
 //
 //	printf '{"id":"a","x":[%s]}\n' "$(seq -s, 1 256 | sed 's/[0-9]\+/0.1/g')" | rramft-serve
 //	rramft-serve -listen localhost:7077 -repair-every 100ms
+//	rramft-serve -replicas 4 -rebuild-from ck.rramft
+//
+// With -replicas N > 1 the trained weights are imaged onto N independent
+// replica substrates behind a health-scored router (internal/cluster);
+// requests fail over away from replicas that are draining for repair, and
+// hopeless replicas are rebuilt from the weight image. -rebuild-from
+// sources that image from a training checkpoint instead of the freshly
+// trained weights.
 //
 // The model is the deterministic built-in scenario model (a small MLP
 // trained on a synthetic MNIST-like dataset, on crossbars with fabrication
@@ -30,6 +38,8 @@ import (
 	"time"
 
 	"rramft/internal/cliutil"
+	"rramft/internal/cluster"
+	"rramft/internal/core"
 	"rramft/internal/repair"
 	"rramft/internal/serve"
 	"rramft/internal/xrand"
@@ -44,6 +54,7 @@ type options struct {
 	RepairPolicy  string
 	MaxBatch      int
 	Timeout       time.Duration
+	Replicas      int
 }
 
 // validate rejects impossible flag combinations before the model is
@@ -70,6 +81,9 @@ func (o options) validate() error {
 	if o.Timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %s", o.Timeout)
 	}
+	if o.Replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", o.Replicas)
+	}
 	return nil
 }
 
@@ -85,6 +99,8 @@ func main() {
 		policy      = flag.String("repair-policy", "golden", "maintenance policy: golden, paper or dropconnect (see DESIGN.md §10)")
 		maxBatch    = flag.Int("max-batch", 8, "largest request batch coalesced into one forward pass")
 		timeout     = flag.Duration("timeout", time.Second, "per-request deadline from submission")
+		replicas    = flag.Int("replicas", 1, "number of independent replica substrates behind the health-scored router (see DESIGN.md §13)")
+		rebuildFrom = flag.String("rebuild-from", "", "checkpoint file whose weights become the replica image (built and rebuilt from) instead of freshly trained ones")
 		telemetry   = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 		helpMD      = flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
@@ -99,7 +115,7 @@ func main() {
 	opt := options{
 		Iters: *iters, TrainN: *trainN, Faults: *faults,
 		RepairEvery: *repairEvery, RepairPolicy: *policy,
-		MaxBatch: *maxBatch, Timeout: *timeout,
+		MaxBatch: *maxBatch, Timeout: *timeout, Replicas: *replicas,
 	}
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-serve: %v", err)
@@ -130,17 +146,49 @@ func main() {
 	log.Printf("rramft-serve: training scenario model (%d iters, %d samples, %.0f%% fabrication faults)",
 		opt.Iters, opt.TrainN, opt.Faults*100)
 	m, ds := serve.TrainScenarioModel(cfg)
-	e := serve.NewEngine(m, ds.InSize(), cfg.Serve)
-	defer e.Close()
-	if *repairOn {
-		if err := e.StartMaintenance(cfg.Repair, xrand.Derive(*seed, "rramft-serve")); err != nil {
+
+	var b backend
+	if opt.Replicas == 1 && *rebuildFrom == "" {
+		e := serve.NewEngine(m, ds.InSize(), cfg.Serve)
+		defer e.Close()
+		if *repairOn {
+			if err := e.StartMaintenance(cfg.Repair, xrand.Derive(*seed, "rramft-serve")); err != nil {
+				log.Fatalf("rramft-serve: %v", err)
+			}
+		}
+		b = e
+	} else {
+		image := cluster.CaptureImage(m)
+		if *rebuildFrom != "" {
+			ck, err := core.LoadCheckpoint(*rebuildFrom)
+			if err != nil {
+				log.Fatalf("rramft-serve: -rebuild-from: %v", err)
+			}
+			image, err = cluster.ImageFromCheckpoint(func() *core.Model {
+				return serve.ScenarioModel(cfg, ds)
+			}, ck)
+			if err != nil {
+				log.Fatalf("rramft-serve: -rebuild-from %s does not fit the scenario model: %v", *rebuildFrom, err)
+			}
+			log.Printf("rramft-serve: replica image loaded from checkpoint %s", *rebuildFrom)
+		}
+		d, err := cluster.ScenarioDispatcher(cfg, ds, image, opt.Replicas)
+		if err != nil {
 			log.Fatalf("rramft-serve: %v", err)
 		}
+		defer d.Close()
+		if *repairOn {
+			if err := d.StartMaintenance(); err != nil {
+				log.Fatalf("rramft-serve: %v", err)
+			}
+		}
+		b = d
 	}
-	log.Printf("rramft-serve: model ready (%d features in, %d classes out)", e.InSize(), e.Classes())
+	log.Printf("rramft-serve: ready (%d replicas, %d features in, %d classes out)",
+		opt.Replicas, b.InSize(), b.Classes())
 
 	if *listen == "" {
-		if err := serveStream(e, os.Stdin, os.Stdout); err != nil {
+		if err := serveStream(b, os.Stdin, os.Stdout); err != nil {
 			log.Fatalf("rramft-serve: %v", err)
 		}
 		return
@@ -150,13 +198,22 @@ func main() {
 		log.Fatalf("rramft-serve: %v", err)
 	}
 	log.Printf("rramft-serve: listening on %s", ln.Addr())
-	if err := serveListener(e, ln); err != nil {
+	if err := serveListener(b, ln); err != nil {
 		log.Fatalf("rramft-serve: %v", err)
 	}
 }
 
+// backend is the engine surface the stream plumbing needs. Both a single
+// *serve.Engine and a replicated *cluster.Dispatcher satisfy it, so the
+// wire protocol is identical at every -replicas setting.
+type backend interface {
+	Submit(req *serve.Request) (<-chan serve.Response, error)
+	InSize() int
+	Classes() int
+}
+
 // serveListener accepts connections forever, one goroutine per connection.
-func serveListener(e *serve.Engine, ln net.Listener) error {
+func serveListener(b backend, ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -164,7 +221,7 @@ func serveListener(e *serve.Engine, ln net.Listener) error {
 		}
 		go func() {
 			defer conn.Close()
-			if err := serveStream(e, conn, conn); err != nil {
+			if err := serveStream(b, conn, conn); err != nil {
 				log.Printf("rramft-serve: %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -179,7 +236,7 @@ func serveListener(e *serve.Engine, ln net.Listener) error {
 // in-flight response has been written; a line longer than
 // serve.MaxRequestBytes kills the stream (the scanner cannot resynchronize
 // past it).
-func serveStream(e *serve.Engine, r io.Reader, w io.Writer) error {
+func serveStream(b backend, r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), serve.MaxRequestBytes+1)
 	var mu sync.Mutex
@@ -194,12 +251,12 @@ func serveStream(e *serve.Engine, r io.Reader, w io.Writer) error {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		req, err := serve.DecodeRequest(line, e.InSize())
+		req, err := serve.DecodeRequest(line, b.InSize())
 		if err != nil {
 			writeLine(serve.EncodeResponse(serve.Response{Err: err}))
 			continue
 		}
-		ch, err := e.Submit(req)
+		ch, err := b.Submit(req)
 		if err != nil {
 			writeLine(serve.EncodeResponse(serve.Response{ID: req.ID, Err: err}))
 			continue

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rramft/internal/cluster"
 	"rramft/internal/core"
 	"rramft/internal/serve"
 )
@@ -17,7 +18,7 @@ func validServeOptions() options {
 	return options{
 		Iters: 600, TrainN: 600, Faults: 0.05,
 		RepairEvery: 50 * time.Millisecond, RepairPolicy: "golden",
-		MaxBatch: 8, Timeout: time.Second,
+		MaxBatch: 8, Timeout: time.Second, Replicas: 1,
 	}
 }
 
@@ -37,6 +38,8 @@ func TestValidateServeFlags(t *testing.T) {
 		{"unknown repair policy", func(o *options) { o.RepairPolicy = "magic" }},
 		{"zero max-batch", func(o *options) { o.MaxBatch = 0 }},
 		{"zero timeout", func(o *options) { o.Timeout = 0 }},
+		{"zero replicas", func(o *options) { o.Replicas = 0 }},
+		{"negative replicas", func(o *options) { o.Replicas = -2 }},
 	}
 	for _, tc := range cases {
 		o := validServeOptions()
@@ -120,6 +123,55 @@ func TestServeStreamRoundTrip(t *testing.T) {
 	}
 	if okN != 12 || errN != 2 {
 		t.Errorf("got %d ok + %d error responses, want 12 + 2", okN, errN)
+	}
+}
+
+// TestServeStreamClusterBackend runs the same stream plumbing over a
+// 2-replica dispatcher — the wire protocol must be identical regardless
+// of what backs Submit.
+func TestServeStreamClusterBackend(t *testing.T) {
+	const inSize = 6
+	d, err := cluster.New(cluster.Config{
+		Replicas: 2,
+		Seed:     17,
+		InSize:   inSize,
+		NewModel: func(id, gen int) *core.Model {
+			return core.BuildMLP(inSize, []int{5}, 3, core.DefaultBuildOptions(int64(17+id)))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	var in strings.Builder
+	for i := 0; i < 8; i++ {
+		x := make([]float64, inSize)
+		b, _ := json.Marshal(map[string]any{"id": fmt.Sprintf("c-%d", i), "x": x})
+		in.Write(b)
+		in.WriteByte('\n')
+	}
+	var out bytes.Buffer
+	if err := serveStream(d, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d responses, want 8:\n%s", len(lines), out.String())
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines {
+		var r wireResp
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("unparseable response %q: %v", ln, err)
+		}
+		if r.Error != "" {
+			t.Errorf("response %q errored", ln)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate response id %q", r.ID)
+		}
+		seen[r.ID] = true
 	}
 }
 

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rramft/internal/core"
+	"rramft/internal/fault"
+	"rramft/internal/repair"
+	"rramft/internal/serve"
+	"rramft/internal/xrand"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{InSize: testInSize}); err == nil {
+		t.Error("New accepted a config without NewModel")
+	}
+	if _, err := New(Config{NewModel: testNewModel(1, 0, fault.Unlimited())}); err == nil {
+		t.Error("New accepted a config without InSize")
+	}
+	x, y := probeSet(xrand.New(1), 4)
+	if _, err := New(Config{
+		NewModel: testNewModel(1, 0, fault.Unlimited()),
+		InSize:   testInSize,
+		ProbeX:   x, ProbeY: y[:2],
+	}); err == nil {
+		t.Error("New accepted a probe set with mismatched labels")
+	}
+}
+
+// TestDispatcherFailoverOnDrain pins the tentpole behaviour: with one
+// replica drained, the cluster keeps answering (traffic fails over), while
+// the drained engine itself refuses direct submissions.
+func TestDispatcherFailoverOnDrain(t *testing.T) {
+	d := testDispatcher(t, 2, nil)
+	d.Drain(0)
+	if got := d.State(0); got != StateDraining {
+		t.Fatalf("State(0) = %v after Drain, want draining", got)
+	}
+	rng := xrand.New(2)
+	if _, err := d.Engine(0).Submit(&serve.Request{ID: "direct", X: randSample(rng)}); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("direct submit to drained engine: err = %v, want ErrDraining", err)
+	}
+	for i := 0; i < 10; i++ {
+		resp := d.Infer(&serve.Request{ID: fmt.Sprintf("q%d", i), X: randSample(rng)})
+		if resp.Err != nil {
+			t.Fatalf("request %d failed during failover: %v", i, resp.Err)
+		}
+	}
+	d.Readmit(0)
+	if got := d.State(0); got != StateActive {
+		t.Errorf("State(0) = %v after Readmit, want active", got)
+	}
+	if _, err := d.Engine(0).Submit(&serve.Request{ID: "direct2", X: randSample(rng)}); err != nil {
+		t.Errorf("direct submit after Readmit: %v", err)
+	}
+}
+
+// TestDispatcherBadShape pins that shape errors surface at Submit, before
+// any routing.
+func TestDispatcherBadShape(t *testing.T) {
+	d := testDispatcher(t, 1, nil)
+	if _, err := d.Submit(&serve.Request{ID: "bad", X: make([]float64, testInSize+1)}); !errors.Is(err, serve.ErrBadShape) {
+		t.Errorf("err = %v, want ErrBadShape", err)
+	}
+}
+
+// TestRepairReplicaDrainsAndReadmits pins the drain→repair→readmit cycle
+// with a healthy peer: the pass outcome is measured, and the replica ends
+// active with admission open.
+func TestRepairReplicaDrainsAndReadmits(t *testing.T) {
+	d := testDispatcher(t, 2, func(c *Config) {
+		c.Repair.Oracle = true
+	})
+	st := d.RepairReplica(0)
+	if st.Outcome == repair.OutcomeUnknown {
+		t.Error("RepairReplica did not measure the pass outcome")
+	}
+	if got := d.State(0); got != StateActive {
+		t.Errorf("State(0) = %v after repair, want active", got)
+	}
+	if d.Engine(0).Draining() {
+		t.Error("engine still draining after readmit")
+	}
+}
+
+// TestSingleReplicaRepairKeepsServing is the solo edge case: with no peer
+// to fail over to, a repair pass must not drain — admission stays open and
+// concurrent requests are answered under the single-writer protocol, never
+// refused with ErrDraining.
+func TestSingleReplicaRepairKeepsServing(t *testing.T) {
+	d := testDispatcher(t, 1, func(c *Config) {
+		c.Repair.Oracle = true
+		c.Serve.QueueCap = 256
+	})
+	var stop atomic.Bool
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := xrand.New(3)
+		for !stop.Load() {
+			resp := d.Infer(&serve.Request{ID: "solo", X: randSample(rng)})
+			if errors.Is(resp.Err, serve.ErrDraining) || errors.Is(resp.Err, serve.ErrOverloaded) {
+				select {
+				case errs <- resp.Err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		d.RepairReplica(0)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("request refused during solo repair: %v", err)
+	default:
+	}
+	if got := d.State(0); got != StateActive {
+		t.Errorf("State(0) = %v after solo repairs, want active", got)
+	}
+}
+
+// TestRebuildSwapsSubstrate pins the rebuild path: a new engine over a new
+// substrate takes the slot, the old engine closes after serving its queue,
+// and the cluster keeps answering.
+func TestRebuildSwapsSubstrate(t *testing.T) {
+	var builds atomic.Int32
+	d := testDispatcher(t, 2, func(c *Config) {
+		inner := c.NewModel
+		c.NewModel = func(id, gen int) *core.Model {
+			builds.Add(1)
+			return inner(id, gen)
+		}
+	})
+	builds.Store(0)
+	old := d.Engine(0)
+	if err := d.Rebuild(0); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if builds.Load() != 1 {
+		t.Errorf("Rebuild built %d models, want 1", builds.Load())
+	}
+	if d.Engine(0) == old {
+		t.Fatal("Rebuild did not swap the engine")
+	}
+	if _, err := old.Submit(&serve.Request{ID: "late", X: make([]float64, testInSize)}); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("old engine after rebuild: err = %v, want ErrClosed", err)
+	}
+	if got := d.State(0); got != StateActive {
+		t.Errorf("State(0) = %v after rebuild, want active", got)
+	}
+	resp := d.Infer(&serve.Request{ID: "post", X: randSample(xrand.New(4))})
+	if resp.Err != nil {
+		t.Errorf("request after rebuild failed: %v", resp.Err)
+	}
+}
+
+// detectOnlyPolicy runs detection and nothing else, so kept weights on
+// faulty cells are found but never repaired — every pass over a faulty
+// substrate comes back degraded.
+type detectOnlyPolicy struct{}
+
+func (detectOnlyPolicy) Name() string         { return "detect-only" }
+func (detectOnlyPolicy) NeedsReference() bool { return false }
+func (detectOnlyPolicy) Stages(repair.Config, *repair.Target, int) []repair.Stage {
+	return []repair.Stage{repair.DetectStage{}}
+}
+
+// TestDegradedStreakTriggersRebuild pins the hopeless-replica policy:
+// RebuildAfter consecutive degraded passes rebuild the replica, and the
+// streak resets.
+func TestDegradedStreakTriggersRebuild(t *testing.T) {
+	var rebuilt atomic.Int32
+	d := testDispatcher(t, 2, func(c *Config) {
+		c.NewModel = testNewModel(11, 0.1, fault.Unlimited())
+		c.Repair.Policy = detectOnlyPolicy{}
+		c.Repair.Oracle = true
+		c.RebuildAfter = 2
+		inner := c.NewModel
+		c.NewModel = func(id, gen int) *core.Model {
+			if gen > 0 {
+				rebuilt.Add(1)
+			}
+			return inner(id, gen)
+		}
+	})
+	// Make sure replica 0 really has kept weights on faults to leave
+	// un-repaired.
+	d.Engine(0).InjectFaultBurst(0.3, 0.5, fault.Uniform{}, xrand.New(12))
+
+	st := d.RepairReplica(0)
+	if st.Outcome != repair.OutcomeDegraded {
+		t.Fatalf("first pass outcome = %v, want degraded (detect-only over a faulty substrate)", st.Outcome)
+	}
+	if rebuilt.Load() != 0 {
+		t.Fatal("rebuilt before the streak threshold")
+	}
+	d.RepairReplica(0)
+	if rebuilt.Load() != 1 {
+		t.Fatalf("rebuilt %d times after %d degraded passes, want 1", rebuilt.Load(), 2)
+	}
+	if got := d.State(0); got != StateActive {
+		t.Errorf("State(0) = %v after rebuild, want active", got)
+	}
+}
+
+// TestProbeAllFeedsHealth pins that probes populate the rolling windows:
+// NaN before, real accuracies after, and the per-replica scores diverge
+// once one replica is struck by a heavy burst.
+func TestProbeAllFeedsHealth(t *testing.T) {
+	x, y := probeSet(xrand.New(5), 16)
+	d := testDispatcher(t, 2, func(c *Config) {
+		c.ProbeX, c.ProbeY = x, y
+	})
+	accs := d.ProbeAll()
+	if len(accs) != 2 {
+		t.Fatalf("ProbeAll returned %d accuracies, want 2", len(accs))
+	}
+	for i, a := range accs {
+		if a < 0 || a > 1 {
+			t.Errorf("probe accuracy %d = %v out of [0,1]", i, a)
+		}
+	}
+}
+
+// TestCloseRefusesSubmit pins shutdown: Submit after Close fails with
+// ErrClosed and Close is idempotent.
+func TestCloseRefusesSubmit(t *testing.T) {
+	d := testDispatcher(t, 1, nil)
+	d.Close()
+	if _, err := d.Submit(&serve.Request{ID: "late", X: make([]float64, testInSize)}); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	d.Close()
+}
+
+// TestStartMaintenanceSingleton pins the one-maintenance-loop rule.
+func TestStartMaintenanceSingleton(t *testing.T) {
+	d := testDispatcher(t, 1, nil)
+	if err := d.StartMaintenance(); err != nil {
+		t.Fatalf("StartMaintenance: %v", err)
+	}
+	if err := d.StartMaintenance(); err == nil {
+		t.Error("second StartMaintenance did not error")
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"rramft/internal/core"
+	"rramft/internal/fault"
+	"rramft/internal/mapping"
+	"rramft/internal/repair"
+	"rramft/internal/rram"
+	"rramft/internal/serve"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+// testInSize/testClasses size the unit-test models (small enough that a
+// forward pass is microseconds).
+const (
+	testInSize  = 6
+	testClasses = 3
+)
+
+// testNewModel returns a Config.NewModel builder over small crossbar-backed
+// MLPs: every (id, gen) pair gets its own derived seed, hence its own
+// substrate and fabrication faults.
+func testNewModel(seed int64, faultFrac float64, end fault.EnduranceModel) func(id, gen int) *core.Model {
+	return func(id, gen int) *core.Model {
+		opts := core.DefaultBuildOptions(xrand.DeriveSeed(seed, fmt.Sprintf("test/r%d/g%d", id, gen)))
+		opts.OnRCS = true
+		opts.Store = mapping.StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05, Endurance: end}}
+		opts.InitialFaultFrac = faultFrac
+		opts.FCSparsity = 0.4
+		return core.BuildMLP(testInSize, []int{8}, testClasses, opts)
+	}
+}
+
+// testDispatcher builds a small dispatcher over n crossbar replicas; mut
+// adjusts the config before New. Deadlines are disabled so slow CI cannot
+// turn responses into timeouts.
+func testDispatcher(t *testing.T, n int, mut func(*Config)) *Dispatcher {
+	t.Helper()
+	cfg := Config{
+		Replicas: n,
+		Seed:     7,
+		NewModel: testNewModel(7, 0.02, fault.Unlimited()),
+		InSize:   testInSize,
+		Serve:    serve.Config{Timeout: -1},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// oracleRepair returns the cheapest deterministic repair stage config for
+// concurrency tests: oracle detection, no genetic search.
+func oracleRepair() repair.Config { return repair.Config{Oracle: true} }
+
+// randSample returns one random feature vector.
+func randSample(rng *xrand.Stream) []float64 {
+	x := make([]float64, testInSize)
+	for i := range x {
+		x[i] = rng.Uniform(-1, 1)
+	}
+	return x
+}
+
+// probeSet builds a small labelled probe set (labels are arbitrary — the
+// health window only needs consistent inputs).
+func probeSet(rng *xrand.Stream, n int) (*tensor.Dense, []int) {
+	x := tensor.NewDense(n, testInSize)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), randSample(rng))
+		y[i] = rng.Intn(testClasses)
+	}
+	return x, y
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rramft/internal/core"
+	"rramft/internal/tensor"
+)
+
+// Image is a substrate-independent weight snapshot — the logical weight
+// matrices of a model's crossbar-backed layers, in binding order. Unlike
+// core.Checkpoint (which replaces a store's entire state, fault maps
+// included), programming an Image writes only weights: each replica keeps
+// its own fabrication faults and endurance history, exactly as a real
+// re-deployment would program known-good weights onto its own imperfect
+// array.
+type Image struct {
+	Weights []*tensor.Dense
+}
+
+// CaptureImage snapshots the crossbar-backed weights of m.
+func CaptureImage(m *core.Model) *Image {
+	im := &Image{}
+	for _, b := range m.RCSBindings() {
+		im.Weights = append(im.Weights, b.Store.WeightSnapshot())
+	}
+	return im
+}
+
+// Program writes the image's weights onto m's crossbars via delta
+// programming (the same idiom as core.Reinitialize: write the difference,
+// so stuck cells absorb what they must and everything else lands on
+// target). The model must have the same crossbar-backed architecture the
+// image was captured from.
+func (im *Image) Program(m *core.Model) error {
+	bindings := m.RCSBindings()
+	if len(bindings) != len(im.Weights) {
+		return fmt.Errorf("cluster: image has %d weight matrices, model has %d crossbar stores", len(im.Weights), len(bindings))
+	}
+	for i, b := range bindings {
+		rows, cols := b.Store.Shape()
+		w := im.Weights[i]
+		if w.Rows != rows || w.Cols != cols {
+			return fmt.Errorf("cluster: image matrix %d is %dx%d, store %q is %dx%d", i, w.Rows, w.Cols, b.Store.Name(), rows, cols)
+		}
+		delta := b.Store.WeightSnapshot()
+		delta.Scale(-1)
+		delta.AddScaled(1, w)
+		b.Store.ApplyDelta(delta)
+	}
+	return nil
+}
+
+// ImageFromCheckpoint restores ck onto a scratch model from build and
+// captures its weights — the bridge from a training checkpoint on disk to
+// a rebuild image (rramft-serve's -rebuild-from flag).
+func ImageFromCheckpoint(build func() *core.Model, ck *core.Checkpoint) (*Image, error) {
+	m := build()
+	if err := core.RestoreModel(m, ck); err != nil {
+		return nil, err
+	}
+	return CaptureImage(m), nil
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rramft/internal/core"
+	"rramft/internal/dataset"
+	"rramft/internal/fault"
+)
+
+// tinyDataset matches the testNewModel shape (6 features, 3 classes).
+func tinyDataset(seed int64) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{
+		Name: "tiny", Classes: testClasses, C: 1, H: 2, W: 3,
+		TrainN: 40, TestN: 20, NoiseStd: 0.2, Waves: 2, Seed: seed,
+	})
+}
+
+// TestImageFromCheckpoint round-trips the -rebuild-from path: train a
+// model with checkpointing, load the checkpoint from disk, and check the
+// image captured from the restored model matches the live model's weights
+// exactly (checkpoint restore is byte-identical, DESIGN.md §7).
+func TestImageFromCheckpoint(t *testing.T) {
+	build := func() *core.Model { return testNewModel(5, 0, fault.Unlimited())(0, 0) }
+	ds := tinyDataset(5)
+	m := build()
+	path := filepath.Join(t.TempDir(), "ck.rramft")
+	tc := core.DefaultTrainConfig(5, 8)
+	tc.EvalEvery = 8
+	tc.CheckpointEvery = 8
+	tc.CheckpointPath = path
+	core.Train(m, ds, tc)
+
+	ck, err := core.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	im, err := ImageFromCheckpoint(build, ck)
+	if err != nil {
+		t.Fatalf("ImageFromCheckpoint: %v", err)
+	}
+	want := CaptureImage(m)
+	if len(im.Weights) != len(want.Weights) {
+		t.Fatalf("image has %d weight blocks, want %d", len(im.Weights), len(want.Weights))
+	}
+	for b := range want.Weights {
+		got, exp := im.Weights[b], want.Weights[b]
+		if got.Rows != exp.Rows || got.Cols != exp.Cols {
+			t.Fatalf("block %d: shape %dx%d, want %dx%d", b, got.Rows, got.Cols, exp.Rows, exp.Cols)
+		}
+		for i := range exp.Data {
+			if got.Data[i] != exp.Data[i] {
+				t.Fatalf("block %d weight %d: restored %v != live %v", b, i, got.Data[i], exp.Data[i])
+			}
+		}
+	}
+}
+
+// TestImageProgramShapeMismatch rejects imaging onto a model whose
+// bindings disagree with the image.
+func TestImageProgramShapeMismatch(t *testing.T) {
+	im := CaptureImage(testNewModel(3, 0, fault.Unlimited())(0, 0))
+	im.Weights = im.Weights[:1]
+	if err := im.Program(testNewModel(3, 0, fault.Unlimited())(0, 0)); err == nil {
+		t.Fatal("Program accepted an image with a missing weight block")
+	}
+}

@@ -67,6 +67,7 @@ var Registry = map[string]Generator{
 	"ablation": Ablations,
 	"serve":    ServingUnderFaults,
 	"policies": RepairPolicies,
+	"cluster":  ClusterReplicas,
 }
 
 // IDs returns the registered experiment ids in sorted order.

@@ -66,6 +66,13 @@ type Config struct {
 	RestoreTol float64
 	AdaptTol   float64
 
+	// MeasureOutcome makes the controller re-count kept weights on
+	// estimated-faulty cells after the last stage (one extra substrate
+	// touch through the Step hook) and classify the pass on
+	// Stats.Outcome/Stats.Residual. Replicated serving uses the verdict
+	// for failover and rebuild decisions; drivers that leave it off pay
+	// nothing and read OutcomeUnknown.
+	MeasureOutcome bool
 	// StageSpans wraps every stage in an obs.Span named after the stage
 	// ("detect", "prune_score", "remap", …) — the training journal's span
 	// tree. Serving leaves it off: its passes emit one flat "repair" span

@@ -102,8 +102,35 @@ func (c *Controller) RunPhase(phase int, rng *xrand.Stream) Stats {
 			stage.Run(ctx)
 		}
 	}
+	if cfg.MeasureOutcome {
+		measureOutcome(ctx)
+	}
 	if c.OnDegraded != nil {
 		c.OnDegraded(false)
 	}
 	return st
+}
+
+// measureOutcome re-counts kept weights on estimated-faulty cells after
+// the stages ran (one Step, so locking drivers interleave it like any
+// other substrate touch) and classifies the pass: nothing estimated under
+// kept weights at detection time is clean, a zero residual after repair
+// is repaired, anything left is degraded.
+func measureOutcome(ctx *Ctx) {
+	residual := 0
+	ctx.Step(func() bool {
+		for _, b := range ctx.Target.Bindings {
+			residual += b.Store.KeptOnEstimatedFaults()
+		}
+		return false
+	})
+	ctx.Stats.Residual = residual
+	switch {
+	case ctx.Stats.KeptOnFaults == 0 && residual == 0:
+		ctx.Stats.Outcome = OutcomeClean
+	case residual == 0:
+		ctx.Stats.Outcome = OutcomeRepaired
+	default:
+		ctx.Stats.Outcome = OutcomeDegraded
+	}
 }

@@ -1,7 +1,48 @@
 package repair
 
-// Stats summarizes one maintenance pass (all fields are additive
-// counters, so passes accumulate with Add).
+// Outcome classifies one maintenance pass for failover decisions: a
+// dispatcher fronting several substrates needs to know whether a pass
+// actually recovered its replica or merely ran. It is measured, not
+// inferred from counters: with Config.MeasureOutcome the controller
+// re-counts kept-weights-on-estimated-faults after the last stage, so a
+// restore that silently failed on a stuck cell still reads as degraded.
+type Outcome int
+
+const (
+	// OutcomeUnknown means the pass did not measure its outcome
+	// (Config.MeasureOutcome was off — the default for drivers that do
+	// not pay the extra substrate touch).
+	OutcomeUnknown Outcome = iota
+	// OutcomeClean means detection estimated no faults under kept
+	// weights: there was nothing to repair.
+	OutcomeClean
+	// OutcomeRepaired means faults were found under kept weights and
+	// none remain after the pass — every one was restored, relocated or
+	// disconnected.
+	OutcomeRepaired
+	// OutcomeDegraded means kept weights still sit on estimated-faulty
+	// cells after the pass: repair could not (fully) recover the
+	// substrate, and the caller should consider failing away from it.
+	OutcomeDegraded
+)
+
+// String names the outcome for journals and error messages.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeRepaired:
+		return "repaired"
+	case OutcomeDegraded:
+		return "degraded"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats summarizes one maintenance pass (the numeric fields are additive
+// counters, so passes accumulate with Add; Outcome and Residual describe
+// the latest pass).
 type Stats struct {
 	// Steps counts substrate touches — under a locking Step hook these
 	// are lock acquisitions, the interleaving points inference batches
@@ -22,9 +63,17 @@ type Stats struct {
 	RestoreWrites int
 	RemapWrites   int
 	RemapInstalls int
+	// Residual counts kept weights still sitting on estimated-faulty
+	// cells after the pass's stages ran, and Outcome classifies the pass
+	// from it. Both are measured only with Config.MeasureOutcome; without
+	// it Residual is 0 and Outcome is OutcomeUnknown.
+	Residual int
+	Outcome  Outcome
 }
 
-// Add accumulates another pass's stats.
+// Add accumulates another pass's stats: counters sum, while Residual and
+// Outcome adopt the later pass's values (they describe the substrate as
+// the most recent pass left it, not a running total).
 func (s *Stats) Add(o Stats) {
 	s.Steps += o.Steps
 	s.DetectCycles += o.DetectCycles
@@ -34,4 +83,6 @@ func (s *Stats) Add(o Stats) {
 	s.RestoreWrites += o.RestoreWrites
 	s.RemapWrites += o.RemapWrites
 	s.RemapInstalls += o.RemapInstalls
+	s.Residual = o.Residual
+	s.Outcome = o.Outcome
 }

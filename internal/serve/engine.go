@@ -56,7 +56,9 @@ var (
 	cDegradedResp = obs.NewCounter("serve.degraded_responses")
 	cRepairPasses = obs.NewCounter("serve.repair_passes")
 	cRepairSteps  = obs.NewCounter("serve.repair_steps")
+	cDrainRejects = obs.NewCounter("serve.drain_rejects")
 	gQueueDepth   = obs.NewGauge("serve.queue_depth")
+	gDraining     = obs.NewGauge("serve.draining")
 	gDegraded     = obs.NewGauge("serve.degraded")
 	gEpoch        = obs.NewGauge("serve.epoch")
 	hBatchSize    = obs.NewHistogram("serve.batch_size")
@@ -70,6 +72,11 @@ var (
 	ErrOverloaded       = errors.New("serve: queue full")
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
 	ErrClosed           = errors.New("serve: engine closed")
+	// ErrDraining answers submissions while the engine is drained (Drain
+	// was called, Resume was not): admission is closed but already-queued
+	// requests are still served. A dispatcher fronting several engines
+	// treats it as "route elsewhere".
+	ErrDraining = errors.New("serve: engine draining")
 )
 
 // Config parameterizes an Engine.
@@ -161,6 +168,7 @@ type Engine struct {
 	mu       sync.Mutex
 	epoch    atomic.Int64
 	degraded atomic.Bool
+	draining atomic.Bool
 
 	// submitMu serializes Submit against Close so no request can be
 	// enqueued after the final drain (which would leave its caller
@@ -219,9 +227,40 @@ func (e *Engine) Epoch() int64 { return e.epoch.Load() }
 // neutralized.
 func (e *Engine) Degraded() bool { return e.degraded.Load() }
 
+// Drain closes admission: Submit fails fast with ErrDraining until
+// Resume, while already-queued requests are still batched and answered
+// (drain must never black-hole accepted work). Drain is the failover hook
+// a replicated dispatcher uses to take an engine out of rotation before a
+// repair pass or a rebuild; it does not stop the batch executor or the
+// maintenance loop — the lock/epoch protocol keeps interleaving exactly
+// as before, there is simply no new work.
+func (e *Engine) Drain() {
+	e.draining.Store(true)
+	if obs.MetricsEnabled() {
+		gDraining.Set(1)
+	}
+}
+
+// Resume re-opens admission after a Drain.
+func (e *Engine) Resume() {
+	e.draining.Store(false)
+	if obs.MetricsEnabled() {
+		gDraining.Set(0)
+	}
+}
+
+// Draining reports whether admission is currently closed by Drain.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// QueueDepth returns the number of requests currently queued (accepted
+// but not yet taken by the batch executor) — the drain-completion signal
+// and one input to a dispatcher's health score.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
 // Submit enqueues one request and returns its response channel (buffered;
 // the response arrives exactly once). It fails fast with ErrOverloaded
-// when the bounded queue is full and with ErrClosed after Close.
+// when the bounded queue is full, ErrDraining while drained, and
+// ErrClosed after Close.
 func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 	if len(req.X) != e.inSize {
 		return nil, fmt.Errorf("%w: got %d features, model takes %d", ErrBadShape, len(req.X), e.inSize)
@@ -230,6 +269,12 @@ func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 	defer e.submitMu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
+	}
+	if e.draining.Load() {
+		if obs.MetricsEnabled() {
+			cDrainRejects.Inc()
+		}
+		return nil, ErrDraining
 	}
 	now := e.cfg.Clock.Now()
 	p := &pending{req: req, enq: now, resp: make(chan Response, 1)}

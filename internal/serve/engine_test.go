@@ -217,3 +217,56 @@ func TestStartMaintenance(t *testing.T) {
 	}
 	e.Close() // must stop the maintenance loop too
 }
+
+// TestDrainResume pins the failover hook: a drained engine refuses new
+// submissions with ErrDraining but still serves what it already accepted,
+// and Resume re-opens admission.
+func TestDrainResume(t *testing.T) {
+	// MaxBatch 1 keeps the queue path synchronous enough to reason about.
+	e := NewEngine(testModelSoft(3), testInSize, Config{MaxBatch: 1})
+	defer e.Close()
+	rng := xrand.New(7)
+
+	// Accept one request, then drain before submitting the next.
+	ch, err := e.Submit(&Request{ID: "pre", X: randSample(rng)})
+	if err != nil {
+		t.Fatalf("Submit before drain: %v", err)
+	}
+	e.Drain()
+	if !e.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+	if _, err := e.Submit(&Request{ID: "during", X: randSample(rng)}); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit while draining: err = %v, want ErrDraining", err)
+	}
+	// The accepted request is still answered: drain never black-holes.
+	if resp := <-ch; resp.Err != nil {
+		t.Errorf("pre-drain request errored: %v", resp.Err)
+	}
+
+	e.Resume()
+	if e.Draining() {
+		t.Error("Draining() true after Resume")
+	}
+	if resp := e.Infer(&Request{ID: "post", X: randSample(rng)}); resp.Err != nil {
+		t.Errorf("Infer after Resume: %v", resp.Err)
+	}
+}
+
+// TestQueueDepth pins the drain-completion signal: depth reflects queued
+// requests and returns to zero once the executor has taken them.
+func TestQueueDepth(t *testing.T) {
+	e := NewEngine(testModelSoft(9), testInSize, Config{MaxBatch: 2, MaxWait: 100 * time.Microsecond})
+	defer e.Close()
+	if d := e.QueueDepth(); d != 0 {
+		t.Fatalf("idle QueueDepth = %d, want 0", d)
+	}
+	rng := xrand.New(8)
+	resp := e.Infer(&Request{X: randSample(rng)})
+	if resp.Err != nil {
+		t.Fatalf("Infer: %v", resp.Err)
+	}
+	if d := e.QueueDepth(); d != 0 {
+		t.Errorf("post-response QueueDepth = %d, want 0", d)
+	}
+}

@@ -11,7 +11,16 @@ import (
 	"rramft/internal/obs"
 )
 
-// LoadConfig parameterizes a closed-loop load run against an engine.
+// Backend is the inference surface RunLoad drives: one engine, or a
+// dispatcher fanning requests across several engine replicas. Infer must
+// answer every request exactly once — errors inside the Response, never a
+// silent drop — which is what lets the load generator's conservation
+// check (Sent == OK+Timeouts+Rejected+Errored) hold for any backend.
+type Backend interface {
+	Infer(req *Request) Response
+}
+
+// LoadConfig parameterizes a closed-loop load run against a backend.
 type LoadConfig struct {
 	// Clients is the number of concurrent client goroutines (default 4).
 	Clients int
@@ -52,12 +61,12 @@ type LoadResult struct {
 	AchievedQPS float64
 }
 
-// RunLoad drives the engine with Clients closed-loop workers until the
+// RunLoad drives the backend with Clients closed-loop workers until the
 // request or duration budget is spent and returns aggregate counts, latency
 // percentiles and accuracy. Pacing uses wall time (this is a load
 // generator, not a simulation); response latencies come from the engine's
 // clock. When a journal is active the result is emitted as a "load" point.
-func RunLoad(e *Engine, cfg LoadConfig) *LoadResult {
+func RunLoad(e Backend, cfg LoadConfig) *LoadResult {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 4
 	}

@@ -92,7 +92,7 @@ func RunRepairScenario(cfg ScenarioConfig) *ScenarioResult {
 // its journal after training and pin only the serving phases.
 func TrainScenarioModel(cfg ScenarioConfig) (*core.Model, *dataset.Dataset) {
 	ds := scenarioData(cfg)
-	m := scenarioModel(cfg, ds)
+	m := ScenarioModel(cfg, ds)
 	tc := core.DefaultTrainConfig(cfg.Seed, cfg.Iters)
 	tc.LR = 0.02
 	tc.Momentum = 0.9
@@ -136,8 +136,12 @@ func scenarioData(cfg ScenarioConfig) *dataset.Dataset {
 	return dataset.Generate(dc)
 }
 
-// scenarioModel builds the crossbar-backed MLP the scenario serves.
-func scenarioModel(cfg ScenarioConfig, ds *dataset.Dataset) *core.Model {
+// ScenarioModel builds the (untrained) crossbar-backed MLP the scenario
+// serves, with fabrication faults derived from cfg.Seed. The replicated
+// serving tier uses it with per-replica derived seeds to give every
+// replica its own independent substrate, and as the architecture template
+// when restoring checkpointed weights onto a rebuilt replica.
+func ScenarioModel(cfg ScenarioConfig, ds *dataset.Dataset) *core.Model {
 	opts := core.DefaultBuildOptions(cfg.Seed)
 	opts.OnRCS = true
 	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05, Endurance: fault.Unlimited()}}

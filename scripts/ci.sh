@@ -32,7 +32,7 @@ go build ./...
 # CLI helpers must carry a doc comment (these packages define the
 # user-facing telemetry contract, so undocumented API is a bug), and the
 # README CLI reference must match the binaries' own -help-md output.
-for pkg in internal/obs internal/cliutil internal/repair; do
+for pkg in internal/obs internal/cliutil internal/repair internal/cluster; do
     undocumented=$(awk '
         /^\/\// { commented = 1; next }
         /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -60,6 +60,14 @@ for forbidden in rramft/internal/core rramft/internal/serve; do
     fi
 done
 
+# internal/cluster sits on top of serve and repair; the reverse dependency
+# would let replica-set policy leak into the single-engine layers.
+lower_deps=$(go list -deps ./internal/serve ./internal/repair)
+if echo "$lower_deps" | grep -qx "rramft/internal/cluster"; then
+    echo "layering gate: internal/serve and internal/repair must not depend on internal/cluster" >&2
+    exit 1
+fi
+
 go test ./...
 go test -race -short ./...
 
@@ -67,6 +75,12 @@ go test -race -short ./...
 # live engine with background repair and a mid-run fault burst (the plain
 # test run above already covers a ~400ms variant).
 RRAMFT_SOAK=5s go test -race -run '^TestServeSoak$' ./internal/serve/
+
+# Cluster chaos soak under the race detector: concurrent clients against a
+# 3-replica dispatcher with staggered per-replica fault bursts, background
+# maintenance and one forced rebuild mid-run (the plain test run above
+# covers a ~500ms variant).
+RRAMFT_SOAK=5s go test -race -run '^TestClusterSoak$' ./internal/cluster/
 
 # Coverage floor over internal/... — keeps the harness honest: new code
 # either comes with tests or consciously lowers this number in review.
@@ -91,4 +105,5 @@ if [ "${RRAMFT_FUZZ:-}" = 1 ]; then
     go test ./internal/core/    -run='^$' -fuzz='^FuzzReadCheckpoint$'  -fuzztime=10s
     go test ./internal/detect/  -run='^$' -fuzz='^FuzzMarchInput$'      -fuzztime=10s
     go test ./internal/serve/   -run='^$' -fuzz='^FuzzServeRequest$'    -fuzztime=10s
+    go test ./internal/cluster/ -run='^$' -fuzz='^FuzzClusterRoute$'    -fuzztime=10s
 fi
