@@ -1,12 +1,21 @@
-// Command rramft-bench regenerates the paper's evaluation figures.
+// Command rramft-bench regenerates the paper's evaluation figures and
+// the repository's performance baseline.
 //
 // Usage:
 //
 //	rramft-bench [-full] [-seed N] [exp-id ...]
+//	rramft-bench -bench-json BENCH.json [-bench-time 1s]
+//	rramft-bench -bench-verify BENCH.json
 //
 // With no ids, every registered experiment runs. Use -list to see ids.
 // Quick scale (default) runs reduced presets in seconds per experiment;
 // -full runs the paper-scale presets documented in DESIGN.md.
+//
+// -bench-json runs the internal/perf micro-benchmark suite INSTEAD of the
+// experiments (mixing the two in one process would pollute the timings)
+// and writes the machine-readable document PERFORMANCE.md describes.
+// -bench-verify validates an existing document and exits non-zero if it
+// is structurally incomplete — the scripts/ci.sh bench smoke gate.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"rramft/internal/cliutil"
 	"rramft/internal/exp"
 	"rramft/internal/obs"
+	"rramft/internal/perf"
 )
 
 // validateIDs rejects unknown experiment ids up front, so a typo in the
@@ -39,11 +49,46 @@ func main() {
 	qps := flag.Float64("qps", 0, "target aggregate request rate for the serve experiment's load phases; 0 runs unpaced")
 	telemetry := flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+	benchJSON := flag.String("bench-json", "", "run the hot-path benchmark suite instead of the experiments and write its BENCH.json document to this file (see PERFORMANCE.md)")
+	benchTime := flag.Duration("bench-time", time.Second, "per-benchmark measuring budget for -bench-json")
+	benchVerify := flag.String("bench-verify", "", "validate an existing BENCH.json document and exit (non-zero on a malformed or incomplete one)")
 	helpMD := flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
 	flag.Parse()
 
 	if *helpMD {
 		cliutil.HelpMD(os.Stdout, "rramft-bench", flag.CommandLine)
+		return
+	}
+
+	if *benchVerify != "" {
+		doc, err := perf.Load(*benchVerify)
+		if err == nil {
+			err = perf.Verify(doc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s document (%d entries, measured with %s on %s/%s)\n",
+			*benchVerify, doc.Schema, len(doc.Entries), doc.BenchTime, doc.GOOS, doc.GOARCH)
+		return
+	}
+
+	if *benchJSON != "" {
+		start := time.Now()
+		doc := perf.Run(perf.Options{BenchTime: *benchTime, Seed: *seed})
+		if err := perf.Write(*benchJSON, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range doc.Entries {
+			if e.Baseline != "" {
+				fmt.Printf("%-24s %12.0f ns/op  %6.2fx vs %s\n", e.Op, e.NsPerOp, e.Speedup, e.Baseline)
+			} else {
+				fmt.Printf("%-24s %12.0f ns/op\n", e.Op, e.NsPerOp)
+			}
+		}
+		fmt.Printf("[bench suite completed in %s; wrote %s]\n", time.Since(start).Round(time.Millisecond), *benchJSON)
 		return
 	}
 

@@ -96,10 +96,10 @@ func main() {
 		faults      = flag.Float64("faults", 0.05, "fabrication fault fraction the model trains around")
 		repairOn    = flag.Bool("repair", true, "run the background detect-and-repair maintenance loop [§4, §5.2]")
 		repairEvery = flag.Duration("repair-every", 50*time.Millisecond, "period between repair passes")
-		policy      = flag.String("repair-policy", "golden", "maintenance policy: golden, paper or dropconnect (see DESIGN.md §10)")
+		policy      = flag.String("repair-policy", "golden", "maintenance policy: golden, paper or dropconnect (see DESIGN.md §11)")
 		maxBatch    = flag.Int("max-batch", 8, "largest request batch coalesced into one forward pass")
 		timeout     = flag.Duration("timeout", time.Second, "per-request deadline from submission")
-		replicas    = flag.Int("replicas", 1, "number of independent replica substrates behind the health-scored router (see DESIGN.md §13)")
+		replicas    = flag.Int("replicas", 1, "number of independent replica substrates behind the health-scored router (see DESIGN.md §14)")
 		rebuildFrom = flag.String("rebuild-from", "", "checkpoint file whose weights become the replica image (built and rebuilt from) instead of freshly trained ones")
 		telemetry   = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")

@@ -109,7 +109,7 @@ func main() {
 		ft        = flag.Bool("ft", false, "enable the full fault-tolerant flow (threshold + detection + pruning + re-mapping) [§5]")
 		threshold = flag.Bool("threshold", false, "enable threshold training only [§5.1]")
 		detectEv  = flag.Int("detect-every", 0, "on-line detection interval (0 = iters/4; used with -ft) [§4]")
-		policy    = flag.String("repair-policy", "paper", "maintenance policy: paper, golden or dropconnect (used with -ft; see DESIGN.md §10)")
+		policy    = flag.String("repair-policy", "paper", "maintenance policy: paper, golden or dropconnect (used with -ft; see DESIGN.md §11)")
 		software  = flag.Bool("software", false, "ideal case: keep all weights in software")
 		verbose   = flag.Bool("v", false, "log per-eval progress to stderr")
 		ckPath    = flag.String("checkpoint", "", "write a session checkpoint to this file every -checkpoint-every iterations")

@@ -2,7 +2,7 @@
 // full-session checkpoint to disk, then rebuild the model from scratch —
 // as a fresh process would — and resume from the file. The resumed run's
 // accuracy curve and hardware statistics are compared point by point
-// against an uninterrupted run: they must be byte-identical (DESIGN.md §7).
+// against an uninterrupted run: they must be byte-identical (DESIGN.md §8).
 //
 // Run with:
 //

@@ -2,7 +2,7 @@
 // commands: the -help-md machine-readable CLI reference generator (the
 // README's CLI table is generated from it so documentation cannot drift —
 // scripts/gen_cli_docs.sh, checked by scripts/ci.sh) and the common
-// telemetry flag wiring for -telemetry and -debug-addr (DESIGN.md §9).
+// telemetry flag wiring for -telemetry and -debug-addr (DESIGN.md §10).
 package cliutil
 
 import (

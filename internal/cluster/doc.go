@@ -1,7 +1,7 @@
 // Package cluster is the replicated serving tier: a dispatcher fronting N
 // independent serve.Engine replicas, each with its own crossbar substrate,
 // fault population and repair stream. The paper's on-line detect→repair
-// flow (DESIGN.md §10) keeps a single array usable as faults accumulate;
+// flow (DESIGN.md §11) keeps a single array usable as faults accumulate;
 // this package lifts the same idea one level up, making the *replica* the
 // unit of fault tolerance:
 //

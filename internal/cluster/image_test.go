@@ -20,7 +20,7 @@ func tinyDataset(seed int64) *dataset.Dataset {
 // TestImageFromCheckpoint round-trips the -rebuild-from path: train a
 // model with checkpointing, load the checkpoint from disk, and check the
 // image captured from the restored model matches the live model's weights
-// exactly (checkpoint restore is byte-identical, DESIGN.md §7).
+// exactly (checkpoint restore is byte-identical, DESIGN.md §8).
 func TestImageFromCheckpoint(t *testing.T) {
 	build := func() *core.Model { return testNewModel(5, 0, fault.Unlimited())(0, 0) }
 	ds := tinyDataset(5)

@@ -17,7 +17,7 @@ import (
 	"rramft/internal/train"
 )
 
-// Registry counters for checkpoint I/O (DESIGN.md §9): saves completed
+// Registry counters for checkpoint I/O (DESIGN.md §10): saves completed
 // and bytes written, so long runs expose their checkpoint overhead in the
 // journal and on /debug/vars. Counting happens around the file write —
 // the checkpoint format itself is untouched by telemetry.

@@ -10,7 +10,7 @@
 // internal/mapping crossbar stores, drives internal/detect and
 // internal/remap from the maintenance phase, and owns the two
 // whole-session protocols layered on top of training — checkpoint/resume
-// (checkpoint.go, DESIGN.md §7) and run telemetry (DESIGN.md §9). A
+// (checkpoint.go, DESIGN.md §8) and run telemetry (DESIGN.md §10). A
 // training session is spanned as train → iter → maintain →
 // detect/prune_score/remap/prune_install in the journal, and the
 // "core.*" counters reconcile exactly with the RunResult totals; see

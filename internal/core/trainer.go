@@ -15,7 +15,7 @@ import (
 	"rramft/internal/xrand"
 )
 
-// Registry counters for the training loop (DESIGN.md §9): iteration and
+// Registry counters for the training loop (DESIGN.md §10): iteration and
 // maintenance-phase progress, plus the aggregated detection confusion so
 // the journal shows detection quality (the paper's precision/recall
 // argument, §6.1) accumulating phase over phase. Bumped only when
@@ -104,7 +104,7 @@ type TrainConfig struct {
 	// every CheckpointEvery iterations (atomically: temp file + rename,
 	// so a crash mid-write never corrupts the previous checkpoint). The
 	// session can then be continued by Resume with byte-identical results
-	// — see DESIGN.md §7.
+	// — see DESIGN.md §8.
 	CheckpointEvery int
 	CheckpointPath  string
 
@@ -211,7 +211,7 @@ func Train(m *Model, ds *dataset.Dataset, cfg TrainConfig) *RunResult {
 // is active it receives the span tree (train → iter → maintain →
 // detect/remap/prune), an eval point per accuracy sample, and counters
 // events bracketing the session so journal deltas reconcile exactly with
-// the RunResult totals (DESIGN.md §9).
+// the RunResult totals (DESIGN.md §10).
 func (s *session) run() *RunResult {
 	runSpan := obs.Span("train")
 	defer runSpan.End()

@@ -35,7 +35,7 @@ import (
 )
 
 // Registry counters for the paper's test-time cost metric (§4.2, DESIGN.md
-// §9): detection phases run and total comparison cycles consumed, so a
+// §10): detection phases run and total comparison cycles consumed, so a
 // journal shows the detection overhead accumulating against write traffic
 // during a run. Bumped only when obs.MetricsEnabled().
 var (

@@ -9,5 +9,5 @@
 // scale). Every generator is a pure function of (Scale, seed): all
 // randomness flows through xrand streams derived from the seed, so a
 // report is bit-reproducible and its tables can be pinned by golden tests
-// (DESIGN.md §8).
+// (DESIGN.md §9).
 package exp

@@ -217,7 +217,7 @@ func RetrainCount(scale Scale, seed int64) *Report {
 	}
 }
 
-// Ablations benchmarks the design choices DESIGN.md §12 calls out.
+// Ablations benchmarks the design choices DESIGN.md §13 calls out.
 func Ablations(scale Scale, seed int64) *Report {
 	rep := &Report{ID: "ablation", Title: "Design-choice ablations"}
 

@@ -1,0 +1,161 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/par"
+	"rramft/internal/rram"
+	"rramft/internal/tensor"
+	"rramft/internal/testkit"
+	"rramft/internal/xrand"
+)
+
+// genWeights draws a random logical weight matrix.
+func genWeights(g *testkit.Gen, rows, cols int) *tensor.Dense {
+	w := tensor.NewDense(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = g.FloatRange(-1, 1)
+	}
+	return w
+}
+
+// genStoreConfig draws a store configuration, sometimes with sense noise
+// (the differential then also covers RNG draw ordering across tiles and
+// arrays, not just arithmetic).
+func genStoreConfig(g *testkit.Gen) StoreConfig {
+	cfg := StoreConfig{Crossbar: rram.Config{
+		Levels:    g.OneOf(4, 8, 16),
+		WriteStd:  g.FloatRange(0, 0.1),
+		Endurance: fault.Unlimited(),
+	}}
+	if g.Bool(0.5) {
+		cfg.Crossbar.ReadNoiseStd = g.FloatRange(0.01, 0.1)
+	}
+	return cfg
+}
+
+// genDrive draws a batch of drive vectors with exact zeros mixed in.
+func genDrive(g *testkit.Gen, b, n int) *tensor.Dense {
+	in := tensor.NewDense(b, n)
+	for i := range in.Data {
+		if !g.Bool(0.15) {
+			in.Data[i] = g.FloatRange(-1, 1)
+		}
+	}
+	return in
+}
+
+// TestTiledMVMBatchMatchesPerSample: a tiled store's batched MVM must be
+// bit-identical to the per-sample loop. Two stores are built from the same
+// seed (construction consumes RNG, so state cloning means identical
+// construction), one serves the per-sample loop, one the batched call —
+// including noisy configurations, where the per-tile RNG streams must be
+// consumed in exactly the same per-tile order.
+func TestTiledMVMBatchMatchesPerSample(t *testing.T) {
+	for _, workers := range []string{"1", "8"} {
+		t.Run("workers="+workers, func(t *testing.T) {
+			t.Setenv(par.EnvWorkers, workers)
+			testkit.ForAll(t, testkit.Config{Trials: 40, Seed: 93, MaxSize: 14}, func(g *testkit.Gen) error {
+				rows := g.Dim(1, 24)
+				cols := g.Dim(1, 24)
+				tileR := g.IntRange(1, rows)
+				tileC := g.IntRange(1, cols)
+				seed := g.Rng().Int63()
+				cfg := genStoreConfig(g)
+				g.Logf("store %dx%d tiles %dx%d levels=%d noise=%.3f seed=%d",
+					rows, cols, tileR, tileC, cfg.Crossbar.Levels, cfg.Crossbar.ReadNoiseStd, seed)
+				w := genWeights(g, rows, cols)
+				in := genDrive(g, g.Dim(1, 12), rows)
+
+				// Same name on purpose: per-tile RNG streams are split by
+				// "<name>[r,c]", so identical names + identical seeds make
+				// the two stores byte-identical clones.
+				sA := NewTiledStore("s", w, tileR, tileC, cfg, xrand.New(seed))
+				sB := NewTiledStore("s", w, tileR, tileC, cfg, xrand.New(seed))
+
+				perSample := tensor.NewDense(in.Rows, cols)
+				for b := 0; b < in.Rows; b++ {
+					copy(perSample.Row(b), sA.MVM(in.Row(b)))
+				}
+				batched := sB.MVMBatch(in)
+
+				for i := range perSample.Data {
+					if math.Float64bits(perSample.Data[i]) != math.Float64bits(batched.Data[i]) {
+						return fmt.Errorf("element %d: per-sample %v != batched %v",
+							i, perSample.Data[i], batched.Data[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestDiffPairMVMBatchMatchesPerSample: same differential for the
+// differential-pair encoding — the pos/neg arrays must draw their sense
+// noise in the same per-array order whether samples run one at a time or
+// as a batch.
+func TestDiffPairMVMBatchMatchesPerSample(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	testkit.ForAll(t, testkit.Config{Trials: 40, Seed: 94, MaxSize: 14}, func(g *testkit.Gen) error {
+		rows := g.Dim(1, 20)
+		cols := g.Dim(1, 20)
+		seed := g.Rng().Int63()
+		cfg := genStoreConfig(g)
+		w := genWeights(g, rows, cols)
+		in := genDrive(g, g.Dim(1, 12), rows)
+		g.Logf("diffpair %dx%d levels=%d noise=%.3f seed=%d", rows, cols, cfg.Crossbar.Levels, cfg.Crossbar.ReadNoiseStd, seed)
+
+		sA := NewDiffPairStore("a", w, cfg, xrand.New(seed))
+		sB := NewDiffPairStore("b", w, cfg, xrand.New(seed))
+
+		perSample := tensor.NewDense(in.Rows, cols)
+		for b := 0; b < in.Rows; b++ {
+			copy(perSample.Row(b), sA.MVM(in.Row(b)))
+		}
+		batched := sB.MVMBatch(in)
+
+		for i := range perSample.Data {
+			if math.Float64bits(perSample.Data[i]) != math.Float64bits(batched.Data[i]) {
+				return fmt.Errorf("element %d: per-sample %v != batched %v",
+					i, perSample.Data[i], batched.Data[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestDiffPairMVMMatchesRead: with no write or sense noise, the
+// differential MVM must agree (to rounding) with the dot product of the
+// drive vector and the store's Read() weights — the encoding's semantic
+// contract, not a bitwise one (the two paths associate the pos/neg terms
+// differently).
+func TestDiffPairMVMMatchesRead(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	rng := xrand.New(17)
+	w := tensor.NewDense(12, 7)
+	for i := range w.Data {
+		w.Data[i] = rng.Uniform(-1, 1)
+	}
+	cfg := StoreConfig{Crossbar: rram.Config{Levels: 16, WriteStd: 0, Endurance: fault.Unlimited()}}
+	s := NewDiffPairStore("d", w, cfg, rng.Split("s"))
+
+	in := make([]float64, 12)
+	for i := range in {
+		in[i] = rng.Uniform(-1, 1)
+	}
+	got := s.MVM(in)
+	weights := s.Read()
+	for c := 0; c < 7; c++ {
+		var want float64
+		for r := 0; r < 12; r++ {
+			want += in[r] * weights.At(r, c)
+		}
+		if math.Abs(got[c]-want) > 1e-9 {
+			t.Fatalf("col %d: MVM %v vs Read-based %v", c, got[c], want)
+		}
+	}
+}

@@ -24,6 +24,10 @@ type DiffPairStore struct {
 	levelScale float64
 	wTarget    []float64
 	readBuf    *tensor.Dense
+
+	// MVM scratch: per-array partial outputs, owned by the store and
+	// lazily sized, so steady-state MVMs are allocation-free.
+	posBuf, negBuf *tensor.Dense
 }
 
 // NewDiffPairStore builds a differential store initialized with w.
@@ -72,6 +76,61 @@ func (s *DiffPairStore) Read() *tensor.Dense {
 		}
 	}
 	return s.readBuf
+}
+
+// MVM computes the differential matrix-vector product
+// out[c] = Σ_r in[r]·(g⁺−g⁻)[r][c]·scale: both arrays sense the same drive
+// vector (they share input lines in a differential design) and the
+// periphery subtracts the column currents. See MVMInto.
+func (s *DiffPairStore) MVM(in []float64) []float64 {
+	out := make([]float64, s.cols)
+	s.MVMInto(out, in)
+	return out
+}
+
+// MVMInto is MVM into a caller-provided output of length cols. The
+// positive array senses first, then the negative — fixed order, so RNG
+// consumption (sense noise) is deterministic. Steady-state calls reuse the
+// store's scratch and are allocation-free on the serial path.
+func (s *DiffPairStore) MVMInto(out, in []float64) {
+	if len(out) != s.cols {
+		panic(fmt.Sprintf("mapping: MVM output length %d, want %d", len(out), s.cols))
+	}
+	s.posBuf = tensor.EnsureShape(s.posBuf, 1, s.cols)
+	s.negBuf = tensor.EnsureShape(s.negBuf, 1, s.cols)
+	s.pos.MVMInto(s.posBuf.Data, in)
+	s.neg.MVMInto(s.negBuf.Data, in)
+	for c := range out {
+		out[c] = (s.posBuf.Data[c] - s.negBuf.Data[c]) * s.levelScale
+	}
+}
+
+// MVMBatch computes B differential matrix-vector products and returns a
+// freshly allocated B×cols result. See MVMBatchInto.
+func (s *DiffPairStore) MVMBatch(in *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(in.Rows, s.cols)
+	s.MVMBatchInto(out, in)
+	return out
+}
+
+// MVMBatchInto computes dst.Row(b) = MVM(in.Row(b)) for every row of the
+// B×rows batch: one batched pass over each array, then the differential
+// subtraction. Byte-identical to the per-sample loop — the two arrays own
+// independent RNG streams ("pos"/"neg" splits), and each array's batched
+// MVM draws its sense noise per sample in batch order, exactly as the
+// sample-outer loop would. dst must be B×cols; steady-state calls are
+// allocation-free.
+func (s *DiffPairStore) MVMBatchInto(dst, in *tensor.Dense) {
+	if dst.Rows != in.Rows || dst.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: MVMBatch dst %dx%d, want %dx%d", dst.Rows, dst.Cols, in.Rows, s.cols))
+	}
+	s.posBuf = tensor.EnsureShape(s.posBuf, in.Rows, s.cols)
+	s.negBuf = tensor.EnsureShape(s.negBuf, in.Rows, s.cols)
+	s.pos.MVMBatchInto(s.posBuf, in)
+	s.neg.MVMBatchInto(s.negBuf, in)
+	for i := range dst.Data {
+		dst.Data[i] = (s.posBuf.Data[i] - s.negBuf.Data[i]) * s.levelScale
+	}
 }
 
 // ApplyDelta commits W += delta; each changed weight programs both cells of

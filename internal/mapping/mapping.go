@@ -22,6 +22,13 @@
 // physical cell (rowPerm[i], colPerm[j]). The re-mapping step re-orders
 // neurons by installing new permutations and re-programming only the cells
 // whose contents actually change.
+//
+// All three stores expose batched analog readout (MVMBatch/MVMBatchInto)
+// next to the per-sample MVM: a B-row drive matrix crosses the array(s)
+// in one pass, with per-tile partials reduced in fixed row-major tile
+// order and the diff-pair arrays combined pos-then-neg — bit-identical to
+// looping MVM over the rows (DESIGN.md §7). Stores own their batch
+// scratch, so steady-state batched readout does not allocate.
 package mapping
 
 import (

@@ -40,6 +40,13 @@ type TiledStore struct {
 	tiles        []*CrossbarStore // row-major grid
 	readBuf      *tensor.Dense
 	deltaBufs    []*tensor.Dense // per-tile scratch, lazily allocated
+
+	// Per-tile batched-MVM scratch (input slice and partial output per
+	// tile), lazily allocated on first MVMBatchInto and reused after.
+	// Each buffer is touched only by the goroutine that owns its tile
+	// during the fan-out, like deltaBufs.
+	mvmInBufs   []*tensor.Dense
+	mvmPartials []*tensor.Dense
 }
 
 // NewTiledStore builds a tiled store over w with tiles of at most
@@ -61,6 +68,8 @@ func NewTiledStore(name string, w *tensor.Dense, tileR, tileC int, cfg StoreConf
 	nTiles := s.gridR * s.gridC
 	s.tiles = make([]*CrossbarStore, nTiles)
 	s.deltaBufs = make([]*tensor.Dense, nTiles)
+	s.mvmInBufs = make([]*tensor.Dense, nTiles)
+	s.mvmPartials = make([]*tensor.Dense, nTiles)
 
 	// Each tile scales its conductance range to the full matrix, not its
 	// own slice, so tiles agree on the weight-per-level mapping.
@@ -260,6 +269,73 @@ func (s *TiledStore) MVM(in []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// MVMBatch computes B logical matrix-vector products in one pass and
+// returns a freshly allocated B×cols result. See MVMBatchInto.
+func (s *TiledStore) MVMBatch(in *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(in.Rows, s.cols)
+	s.MVMBatchInto(out, in)
+	return out
+}
+
+// MVMBatchInto computes dst.Row(b) = MVM(in.Row(b)) for every row of the
+// B×rows input batch. Each tile runs one batched crossbar MVM over its
+// slice of the drive vectors (tiles in parallel, each confined to one
+// worker), then the CMOS periphery reduces partial outputs across grid
+// rows in fixed row-major tile order. dst must be B×cols.
+//
+// The result is byte-identical to calling MVM once per batch row: within
+// a tile, rram.Crossbar.MVMBatchInto preserves the per-sample accumulation
+// order and draws sense noise per sample in batch order, and because every
+// tile owns an independent RNG stream (split at construction), running all
+// of tile t's samples before tile t+1's consumes exactly the same per-tile
+// sequences as the sample-outer loop. Steady-state calls reuse per-tile
+// scratch and are allocation-free once shapes stabilize.
+func (s *TiledStore) MVMBatchInto(dst, in *tensor.Dense) {
+	if in.Cols != s.rows {
+		panic(fmt.Sprintf("mapping: MVMBatch input width %d, want %d", in.Cols, s.rows))
+	}
+	if dst.Rows != in.Rows || dst.Cols != s.cols {
+		panic(fmt.Sprintf("mapping: MVMBatch dst %dx%d, want %dx%d", dst.Rows, dst.Cols, in.Rows, s.cols))
+	}
+	if par.Serial(len(s.tiles), 1) {
+		s.mvmBatchTiles(in, 0, len(s.tiles))
+	} else {
+		par.For(len(s.tiles), 1, func(t0, t1 int) {
+			s.mvmBatchTiles(in, t0, t1)
+		})
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for t, p := range s.mvmPartials {
+		_, c0, _, _ := s.tileBounds(t/s.gridC, t%s.gridC)
+		for b := 0; b < dst.Rows; b++ {
+			drow := dst.Row(b)[c0 : c0+p.Cols]
+			prow := p.Row(b)
+			for c, v := range prow {
+				drow[c] += v
+			}
+		}
+	}
+}
+
+// mvmBatchTiles runs the batched crossbar MVM for tiles [t0, t1), slicing
+// each tile's drive columns out of the batch into tile-owned scratch.
+func (s *TiledStore) mvmBatchTiles(in *tensor.Dense, t0, t1 int) {
+	for t := t0; t < t1; t++ {
+		r0, _, r1, _ := s.tileBounds(t/s.gridC, t%s.gridC)
+		sub := tensor.EnsureShape(s.mvmInBufs[t], in.Rows, r1-r0)
+		s.mvmInBufs[t] = sub
+		for b := 0; b < in.Rows; b++ {
+			copy(sub.Row(b), in.Row(b)[r0:r1])
+		}
+		cb := s.tiles[t].Crossbar()
+		p := tensor.EnsureShape(s.mvmPartials[t], in.Rows, cb.Cols())
+		s.mvmPartials[t] = p
+		cb.MVMBatchInto(p, sub)
+	}
 }
 
 // RunDetection executes one detection phase on every tile, tiles in

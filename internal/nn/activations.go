@@ -28,10 +28,8 @@ func (l *ReLU) OutSize(in int) int { return in }
 
 // Forward clamps negatives to zero and records the active mask.
 func (l *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
-	if l.y == nil || !l.y.SameShape(x) {
-		l.y = tensor.NewDense(x.Rows, x.Cols)
-		l.mask = tensor.NewDense(x.Rows, x.Cols)
-	}
+	l.y = tensor.EnsureShape(l.y, x.Rows, x.Cols)
+	l.mask = tensor.EnsureShape(l.mask, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			l.y.Data[i] = v
@@ -46,9 +44,7 @@ func (l *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
 
 // Backward gates the gradient by the active mask.
 func (l *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	if l.dx == nil || !l.dx.SameShape(dout) {
-		l.dx = tensor.NewDense(dout.Rows, dout.Cols)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
 	tensor.Mul(l.dx, dout, l.mask)
 	return l.dx
 }
@@ -74,9 +70,7 @@ func (l *Sigmoid) OutSize(in int) int { return in }
 
 // Forward applies the logistic function element-wise.
 func (l *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
-	if l.y == nil || !l.y.SameShape(x) {
-		l.y = tensor.NewDense(x.Rows, x.Cols)
-	}
+	l.y = tensor.EnsureShape(l.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		l.y.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -85,9 +79,7 @@ func (l *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
 
 // Backward multiplies by y(1-y).
 func (l *Sigmoid) Backward(dout *tensor.Dense) *tensor.Dense {
-	if l.dx == nil || !l.dx.SameShape(dout) {
-		l.dx = tensor.NewDense(dout.Rows, dout.Cols)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
 	for i, g := range dout.Data {
 		y := l.y.Data[i]
 		l.dx.Data[i] = g * y * (1 - y)
@@ -116,9 +108,7 @@ func (l *Tanh) OutSize(in int) int { return in }
 
 // Forward applies tanh element-wise.
 func (l *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
-	if l.y == nil || !l.y.SameShape(x) {
-		l.y = tensor.NewDense(x.Rows, x.Cols)
-	}
+	l.y = tensor.EnsureShape(l.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		l.y.Data[i] = math.Tanh(v)
 	}
@@ -127,9 +117,7 @@ func (l *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
 
 // Backward multiplies by 1-y².
 func (l *Tanh) Backward(dout *tensor.Dense) *tensor.Dense {
-	if l.dx == nil || !l.dx.SameShape(dout) {
-		l.dx = tensor.NewDense(dout.Rows, dout.Cols)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
 	for i, g := range dout.Data {
 		y := l.y.Data[i]
 		l.dx.Data[i] = g * (1 - y*y)

@@ -42,6 +42,9 @@ type Conv2D struct {
 	yBuf    *tensor.Dense
 	dx      *tensor.Dense
 	dpatch  *tensor.Dense
+	convOut *tensor.Dense // patchRows×outC forward scratch
+	dyBuf   *tensor.Dense // patchRows×outC backward scratch
+	kgTmp   *tensor.Dense // outC×patchCols backward scratch
 }
 
 // NewConv2D builds a convolution layer over the given weight store, whose
@@ -81,15 +84,16 @@ func (l *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", l.name, x.Cols, s.InSize))
 	}
 	l.x = x
-	if l.yBuf == nil || l.yBuf.Rows != x.Rows {
-		l.yBuf = tensor.NewDense(x.Rows, s.OutMax)
-	}
+	l.yBuf = tensor.EnsureShape(l.yBuf, x.Rows, s.OutMax)
 	if len(l.patches) < x.Rows {
-		l.patches = make([]*tensor.Dense, x.Rows)
+		grown := make([]*tensor.Dense, x.Rows)
+		copy(grown, l.patches)
+		l.patches = grown
 	}
 	k := l.K.Store.Read()
 	b := l.B.Store.Read()
-	out := tensor.NewDense(s.PatchRows, s.OutC)
+	l.convOut = tensor.EnsureShape(l.convOut, s.PatchRows, s.OutC)
+	out := l.convOut
 	for i := 0; i < x.Rows; i++ {
 		if l.patches[i] == nil {
 			l.patches[i] = tensor.NewDense(s.PatchRows, s.PatchCols)
@@ -117,15 +121,12 @@ func (l *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	kg.Zero()
 	bg := l.B.Grad
 	bg.Zero()
-	if l.dx == nil || l.dx.Rows != dout.Rows {
-		l.dx = tensor.NewDense(dout.Rows, s.InSize)
-	}
-	if l.dpatch == nil {
-		l.dpatch = tensor.NewDense(s.PatchRows, s.PatchCols)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, s.InSize)
+	l.dpatch = tensor.EnsureShape(l.dpatch, s.PatchRows, s.PatchCols)
 	k := l.K.Store.Read()
-	dy := tensor.NewDense(s.PatchRows, s.OutC)
-	kgTmp := tensor.NewDense(s.OutC, s.PatchCols)
+	l.dyBuf = tensor.EnsureShape(l.dyBuf, s.PatchRows, s.OutC)
+	l.kgTmp = tensor.EnsureShape(l.kgTmp, s.OutC, s.PatchCols)
+	dy, kgTmp := l.dyBuf, l.kgTmp
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)
 		for oc := 0; oc < s.OutC; oc++ {

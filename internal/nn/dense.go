@@ -56,9 +56,7 @@ func (l *DenseLayer) Forward(x *tensor.Dense) *tensor.Dense {
 		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", l.name, x.Cols, l.In))
 	}
 	l.x = x
-	if l.yBuf == nil || l.yBuf.Rows != x.Rows {
-		l.yBuf = tensor.NewDense(x.Rows, l.Out)
-	}
+	l.yBuf = tensor.EnsureShape(l.yBuf, x.Rows, l.Out)
 	w := l.W.Store.Read()
 	tensor.MatMul(l.yBuf, x, w)
 	b := l.B.Store.Read()
@@ -87,9 +85,7 @@ func (l *DenseLayer) Backward(dout *tensor.Dense) *tensor.Dense {
 			bg.Data[c] += row[c]
 		}
 	}
-	if l.dx == nil || l.dx.Rows != dout.Rows {
-		l.dx = tensor.NewDense(dout.Rows, l.In)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, l.In)
 	tensor.MatMulTransB(l.dx, dout, l.W.Store.Read())
 	return l.dx
 }

@@ -34,9 +34,7 @@ func (l *LeakyReLU) OutSize(in int) int { return in }
 // Forward applies the activation element-wise.
 func (l *LeakyReLU) Forward(x *tensor.Dense) *tensor.Dense {
 	l.x = x
-	if l.y == nil || !l.y.SameShape(x) {
-		l.y = tensor.NewDense(x.Rows, x.Cols)
-	}
+	l.y = tensor.EnsureShape(l.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			l.y.Data[i] = v
@@ -49,9 +47,7 @@ func (l *LeakyReLU) Forward(x *tensor.Dense) *tensor.Dense {
 
 // Backward gates the gradient by the active slope.
 func (l *LeakyReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	if l.dx == nil || !l.dx.SameShape(dout) {
-		l.dx = tensor.NewDense(dout.Rows, dout.Cols)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, dout.Cols)
 	for i, g := range dout.Data {
 		if l.x.Data[i] > 0 {
 			l.dx.Data[i] = g
@@ -97,9 +93,7 @@ func (l *AvgPool2) OutSize(in int) int {
 // Forward averages each 2×2 window.
 func (l *AvgPool2) Forward(x *tensor.Dense) *tensor.Dense {
 	outSize := l.C * l.outH * l.outW
-	if l.y == nil || l.y.Rows != x.Rows {
-		l.y = tensor.NewDense(x.Rows, outSize)
-	}
+	l.y = tensor.EnsureShape(l.y, x.Rows, outSize)
 	for i := 0; i < x.Rows; i++ {
 		src := x.Row(i)
 		dst := l.y.Row(i)
@@ -121,9 +115,7 @@ func (l *AvgPool2) Forward(x *tensor.Dense) *tensor.Dense {
 // Backward spreads each gradient evenly over its window.
 func (l *AvgPool2) Backward(dout *tensor.Dense) *tensor.Dense {
 	inSize := l.C * l.H * l.W
-	if l.dx == nil || l.dx.Rows != dout.Rows {
-		l.dx = tensor.NewDense(dout.Rows, inSize)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, inSize)
 	l.dx.Zero()
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)

@@ -48,9 +48,11 @@ func (l *MaxPool2) Forward(x *tensor.Dense) *tensor.Dense {
 	if x.Cols != inSize {
 		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", l.name, x.Cols, inSize))
 	}
-	if l.y == nil || l.y.Rows != x.Rows {
-		l.y = tensor.NewDense(x.Rows, outSize)
-		l.argmax = make([]int, x.Rows*outSize)
+	l.y = tensor.EnsureShape(l.y, x.Rows, outSize)
+	if n := x.Rows * outSize; cap(l.argmax) < n {
+		l.argmax = make([]int, n)
+	} else {
+		l.argmax = l.argmax[:n]
 	}
 	for i := 0; i < x.Rows; i++ {
 		src := x.Row(i)
@@ -89,9 +91,7 @@ func (l *MaxPool2) Forward(x *tensor.Dense) *tensor.Dense {
 func (l *MaxPool2) Backward(dout *tensor.Dense) *tensor.Dense {
 	inSize := l.C * l.H * l.W
 	outSize := l.C * l.outH * l.outW
-	if l.dx == nil || l.dx.Rows != dout.Rows {
-		l.dx = tensor.NewDense(dout.Rows, inSize)
-	}
+	l.dx = tensor.EnsureShape(l.dx, dout.Rows, inSize)
 	l.dx.Zero()
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)

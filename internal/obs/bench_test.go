@@ -7,7 +7,7 @@ import (
 
 // BenchmarkSpanDisabled measures the no-journal fast path every
 // instrumentation site pays when telemetry is off: two atomic loads, no
-// allocation (the ≤2% hot-path budget of DESIGN.md §9 rests on this).
+// allocation (the ≤2% hot-path budget of DESIGN.md §10 rests on this).
 func BenchmarkSpanDisabled(b *testing.B) {
 	if Enabled() {
 		b.Fatal("benchmark requires no active journal")

@@ -2,7 +2,7 @@
 // substrate that makes the quantities the paper argues about — write
 // demand, endurance wear-out, detection test cycles, re-mapping overhead
 // (§5–§6) — continuously visible during a run instead of only as
-// end-of-run numbers. See DESIGN.md §9 and OBSERVABILITY.md.
+// end-of-run numbers. See DESIGN.md §10 and OBSERVABILITY.md.
 //
 // It has three parts:
 //

@@ -17,5 +17,5 @@
 // selects a serial fallback that never dispatches to the pool. When
 // telemetry is enabled the parallel dispatch path also feeds the
 // "par.*" counters and the par.inflight queue-depth gauge described in
-// DESIGN.md §9 and OBSERVABILITY.md.
+// DESIGN.md §10 and OBSERVABILITY.md.
 package par

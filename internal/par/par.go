@@ -9,7 +9,7 @@ import (
 	"rramft/internal/obs"
 )
 
-// Pool telemetry (DESIGN.md §9): gInflight is the number of dispatched
+// Pool telemetry (DESIGN.md §10): gInflight is the number of dispatched
 // blocks (or Do functions) not yet finished — the pool's queue depth —
 // and hBlocksPerCall records how finely each parallel For call was
 // partitioned. Both touch only the parallel dispatch path, never the
@@ -40,6 +40,47 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// plan computes the block size For would use for an n-item loop with the
+// given grain, or 0 when the loop should run serially (one worker, or one
+// block covers everything).
+func plan(n, grain int) (block int) {
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	block = (n + w - 1) / w
+	if block < grain {
+		block = grain
+	}
+	if w == 1 || block >= n {
+		return 0
+	}
+	return block
+}
+
+// Serial reports whether For(n, grain, fn) would run fn serially as a
+// single fn(0, n) call on the caller's goroutine. Hot paths use it to
+// bypass For entirely on the serial path: passing a closure to For makes
+// the closure escape (For launches it on new goroutines), so even the
+// serial fallback pays one heap allocation per call at the call site.
+// Callers that must be allocation-free check Serial first and invoke the
+// block kernel directly:
+//
+//	if par.Serial(n, g) {
+//	    kernel(0, n)
+//	} else {
+//	    par.For(n, g, func(s, e int) { kernel(s, e) })
+//	}
+//
+// Both branches execute the same kernel, so the byte-equivalence contract
+// between the serial and parallel paths is unchanged.
+func Serial(n, grain int) bool {
+	return n <= 0 || plan(n, grain) == 0
+}
+
 // For partitions [0, n) into contiguous blocks of at least grain indices
 // and calls fn(start, end) once per block, spreading blocks over up to
 // Workers() goroutines. When one worker — or one block — suffices, it
@@ -54,18 +95,8 @@ func For(n, grain int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	if grain < 1 {
-		grain = 1
-	}
-	w := Workers()
-	if w > n {
-		w = n
-	}
-	block := (n + w - 1) / w
-	if block < grain {
-		block = grain
-	}
-	if w == 1 || block >= n {
+	block := plan(n, grain)
+	if block == 0 {
 		fn(0, n)
 		return
 	}

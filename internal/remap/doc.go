@@ -15,10 +15,10 @@
 // exchanges (HillClimb) inside a genetic loop (Genetic); because the
 // per-boundary subproblem is a linear assignment problem, this package
 // also provides an exact Hungarian solver as an upper-bound ablation
-// (DESIGN.md §12 discusses when the heuristics stop short of it).
+// (DESIGN.md §13 discusses when the heuristics stop short of it).
 //
 // Installing a found permutation is internal/mapping's job — and it is the
 // expensive part, paid in real crossbar writes that age the cells the
 // remap was trying to protect. The "mapping.remap_writes" counter
-// (DESIGN.md §9) makes that cost visible in run journals.
+// (DESIGN.md §10) makes that cost visible in run journals.
 package remap

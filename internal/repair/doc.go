@@ -15,6 +15,6 @@
 // tracks the kept-weights-on-faults window (serve flips its degraded flag).
 //
 // The package sits below core and serve and imports neither — a layering
-// rule enforced by scripts/ci.sh. See DESIGN.md §10 ("Unified repair
+// rule enforced by scripts/ci.sh. See DESIGN.md §11 ("Unified repair
 // layer").
 package repair

@@ -1,0 +1,169 @@
+package rram
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/obs"
+	"rramft/internal/par"
+	"rramft/internal/tensor"
+	"rramft/internal/testkit"
+	"rramft/internal/xrand"
+)
+
+// genCrossbar builds a randomly programmed, randomly faulted crossbar from
+// the trial generator, including configurations with sense noise (so the
+// differential below also proves RNG-draw-order equivalence, not just
+// arithmetic equivalence).
+func genCrossbar(g *testkit.Gen) *Crossbar {
+	rows := g.Dim(1, 20)
+	cols := g.Dim(1, 20)
+	levels := g.OneOf(2, 4, 8, 16)
+	cfg := Config{Levels: levels, WriteStd: g.FloatRange(0, 0.2), Endurance: fault.Unlimited()}
+	if g.Bool(0.5) {
+		cfg.ReadNoiseStd = g.FloatRange(0.01, 0.2)
+	}
+	g.Logf("crossbar %dx%d levels=%d writeStd=%.3f readNoise=%.3f", rows, cols, levels, cfg.WriteStd, cfg.ReadNoiseStd)
+	cb := New(rows, cols, cfg, g.Stream("cb"))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cb.Write(r, c, float64(g.Intn(levels)))
+		}
+	}
+	fm := fault.NewMap(rows, cols)
+	fault.Uniform{}.Inject(fm, g.FloatRange(0, 0.3), 0.5, g.Stream("faults"))
+	cb.InjectFaults(fm)
+	return cb
+}
+
+// genBatch draws a batch of drive vectors with exact zeros sprinkled in
+// (the MVM kernels skip zero drives, so the skip rule is part of the
+// equivalence contract).
+func genBatch(g *testkit.Gen, rows int) *tensor.Dense {
+	b := g.Dim(1, 16)
+	in := tensor.NewDense(b, rows)
+	for i := range in.Data {
+		if !g.Bool(0.15) {
+			in.Data[i] = g.FloatRange(-1, 1)
+		}
+	}
+	return in
+}
+
+// runBatchDifferential checks MVMBatch against a loop of per-sample MVMs
+// on identical crossbar state (snapshot/restore clones the full state
+// including the RNG, so noisy configurations must agree bitwise too).
+func runBatchDifferential(g *testkit.Gen) error {
+	cb := genCrossbar(g)
+	in := genBatch(g, cb.Rows())
+	st := cb.Snapshot()
+
+	perSample := tensor.NewDense(in.Rows, cb.Cols())
+	for b := 0; b < in.Rows; b++ {
+		copy(perSample.Row(b), cb.MVM(in.Row(b)))
+	}
+
+	if err := cb.Restore(st); err != nil {
+		return fmt.Errorf("restore: %v", err)
+	}
+	batched := cb.MVMBatch(in)
+
+	for b := 0; b < in.Rows; b++ {
+		for c := 0; c < cb.Cols(); c++ {
+			pv, bv := perSample.At(b, c), batched.At(b, c)
+			if math.Float64bits(pv) != math.Float64bits(bv) {
+				return fmt.Errorf("sample %d col %d: per-sample %v (%x) != batched %v (%x)",
+					b, c, pv, math.Float64bits(pv), bv, math.Float64bits(bv))
+			}
+		}
+	}
+	return nil
+}
+
+// TestMVMBatchMatchesPerSample is the batched-MVM differential gate: one
+// batched pass must be bit-identical to the per-sample loop — same
+// accumulation order, same zero-skip rule, same sense-noise draws — across
+// generated sizes, level counts, fault maps and noise settings.
+func TestMVMBatchMatchesPerSample(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	testkit.ForAll(t, testkit.Config{Trials: 60, Seed: 91, MaxSize: 20}, runBatchDifferential)
+}
+
+// TestMVMBatchMatchesPerSampleParallel re-runs the differential with a
+// parallel worker pool: the column-blocked batched kernel must not depend
+// on the partition either.
+func TestMVMBatchMatchesPerSampleParallel(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	testkit.ForAll(t, testkit.Config{Trials: 30, Seed: 92, MaxSize: 20}, runBatchDifferential)
+}
+
+// TestMVMBatchBoundaries pins the degenerate batch shapes: B=1 must equal
+// a single MVM, and an empty batch must be a no-op with no RNG
+// consumption.
+func TestMVMBatchBoundaries(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	rng := xrand.New(7)
+	dataRng := rng.Split("data")
+	cb := New(9, 5, Config{Levels: 8, WriteStd: 0.1, ReadNoiseStd: 0.05, Endurance: fault.Unlimited()}, rng.Split("cb"))
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 5; c++ {
+			cb.Write(r, c, float64(dataRng.Intn(8)))
+		}
+	}
+	st := cb.Snapshot()
+
+	in := tensor.NewDense(1, 9)
+	for i := range in.Data {
+		in.Data[i] = dataRng.Uniform(-1, 1)
+	}
+	single := cb.MVM(in.Row(0))
+	if err := cb.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty batch first: must not consume RNG, so the B=1 batch after it
+	// still reproduces the single MVM exactly.
+	empty := cb.MVMBatch(tensor.NewDense(0, 9))
+	if empty.Rows != 0 || empty.Cols != 5 {
+		t.Fatalf("empty batch shape %dx%d, want 0x5", empty.Rows, empty.Cols)
+	}
+	batched := cb.MVMBatch(in)
+	for c := range single {
+		if math.Float64bits(single[c]) != math.Float64bits(batched.At(0, c)) {
+			t.Fatalf("col %d: single %v != B=1 batched %v", c, single[c], batched.At(0, c))
+		}
+	}
+}
+
+// TestMVMAllocFree is the crossbar-side AllocsPerRun gate: with the worker
+// pool pinned serial, MVMInto and a steady-state MVMBatchInto must not
+// allocate at all — the batched hot path owns every buffer it touches.
+// Metrics are enabled explicitly: the gate must hold with the counters on
+// (they are atomics, not allocations), and obs enablement is sticky
+// process-wide anyway.
+func TestMVMAllocFree(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	obs.EnableMetrics()
+	cb := testCrossbar(32, 5)
+	in := make([]float64, 32)
+	out := make([]float64, 32)
+	rng := xrand.New(9)
+	for i := range in {
+		in[i] = rng.Uniform(-1, 1)
+	}
+	if n := testing.AllocsPerRun(200, func() { cb.MVMInto(out, in) }); n != 0 {
+		t.Fatalf("MVMInto allocates %.1f/op, want 0", n)
+	}
+
+	batch := tensor.NewDense(8, 32)
+	for i := range batch.Data {
+		batch.Data[i] = rng.Uniform(-1, 1)
+	}
+	dst := tensor.NewDense(8, 32)
+	cb.MVMBatchInto(dst, batch) // warm the scratch
+	if n := testing.AllocsPerRun(200, func() { cb.MVMBatchInto(dst, batch) }); n != 0 {
+		t.Fatalf("MVMBatchInto allocates %.1f/op, want 0", n)
+	}
+}

@@ -10,6 +10,15 @@
 // Conductance convention: level 0 is the high-resistance state (zero
 // weight), level MaxLevel is the low-resistance state. A stuck-at-0 (SA0)
 // cell reads level 0 forever; a stuck-at-1 (SA1) cell reads MaxLevel.
+//
+// MVM comes in per-sample (MVM/MVMInto) and batched (MVMBatch/
+// MVMBatchInto) forms. The batched form drives B input vectors through
+// one sweep of the conductance matrix — resolving each row's effective
+// levels once for the whole batch — and is bit-identical to the
+// per-sample loop by construction (same accumulation order, same
+// zero-skip rule, sense noise drawn per sample in batch order); see
+// DESIGN.md §7. The *Into variants write into caller-owned buffers and
+// are allocation-free at steady state.
 package rram
 
 import (
@@ -19,10 +28,11 @@ import (
 	"rramft/internal/fault"
 	"rramft/internal/obs"
 	"rramft/internal/par"
+	"rramft/internal/tensor"
 	"rramft/internal/xrand"
 )
 
-// Registry mirrors of the per-crossbar Stats counters (DESIGN.md §9).
+// Registry mirrors of the per-crossbar Stats counters (DESIGN.md §10).
 // The struct counters in Stats stay the source of truth for RunResult and
 // the checkpoint format; these process-wide counters exist so a journal
 // or the /debug/vars endpoint can watch write demand and wear-out
@@ -98,6 +108,11 @@ type Crossbar struct {
 
 	rng   *xrand.Stream
 	stats Stats
+
+	// mvmScratch caches one row of effective levels during batched MVMs.
+	// It is owned by the crossbar (single-owner invariant above) and lazily
+	// sized to ColsN; parallel column blocks write disjoint ranges of it.
+	mvmScratch []float64
 }
 
 // New builds a crossbar with all cells healthy at level 0. Endurance
@@ -325,26 +340,131 @@ func (cb *Crossbar) effAt(i int) float64 {
 // sense amplifiers); each port sums rows in ascending order whatever the
 // worker count, so the result is byte-identical to a serial evaluation.
 func (cb *Crossbar) MVM(in []float64) []float64 {
+	out := make([]float64, cb.ColsN)
+	cb.MVMInto(out, in)
+	return out
+}
+
+// MVMInto is MVM writing into a caller-provided output of length Cols().
+// It is allocation-free on the serial path (RRAMFT_WORKERS=1), which the
+// AllocsPerRun gates pin; results are byte-identical to MVM.
+func (cb *Crossbar) MVMInto(out, in []float64) {
 	if len(in) != cb.RowsN {
 		panic(fmt.Sprintf("rram: MVM input length %d, want %d", len(in), cb.RowsN))
+	}
+	if len(out) != cb.ColsN {
+		panic(fmt.Sprintf("rram: MVM output length %d, want %d", len(out), cb.ColsN))
 	}
 	if obs.MetricsEnabled() {
 		cMVMs.Inc()
 	}
-	out := make([]float64, cb.ColsN)
-	par.For(cb.ColsN, mvmGrain(cb.RowsN), func(c0, c1 int) {
-		for r, v := range in {
+	for c := range out {
+		out[c] = 0
+	}
+	g := mvmGrain(cb.RowsN)
+	if par.Serial(cb.ColsN, g) {
+		cb.mvmCols(out, in, 0, cb.ColsN)
+	} else {
+		par.For(cb.ColsN, g, func(c0, c1 int) {
+			cb.mvmCols(out, in, c0, c1)
+		})
+	}
+	cb.addSenseNoise(out)
+}
+
+// mvmCols accumulates output ports [c0, c1) of one MVM, summing rows in
+// ascending order and skipping zero drive voltages — the accumulation
+// contract every MVM variant (serial, parallel, batched) shares.
+func (cb *Crossbar) mvmCols(out, in []float64, c0, c1 int) {
+	for r, v := range in {
+		if v == 0 {
+			continue
+		}
+		base := r * cb.ColsN
+		for c := c0; c < c1; c++ {
+			out[c] += v * cb.effAt(base+c)
+		}
+	}
+}
+
+// MVMBatch computes B matrix-vector products in one pass: row b of the
+// returned B×Cols() matrix is MVM(in.Row(b)). See MVMBatchInto.
+func (cb *Crossbar) MVMBatch(in *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(in.Rows, cb.ColsN)
+	cb.MVMBatchInto(out, in)
+	return out
+}
+
+// MVMBatchInto computes dst.Row(b) = MVM(in.Row(b)) for every row of the
+// B×Rows() input batch in a single column-blocked pass over the
+// conductance matrix: each block loads a row's effective levels once into
+// the crossbar-owned scratch and streams all B drive vectors through it,
+// amortizing the per-cell fault/level resolution over the batch. dst must
+// be B×Cols().
+//
+// Equivalence contract: the result is byte-identical to calling MVM once
+// per row in batch order. Every (b, c) output accumulates rows in
+// ascending order with the same zero-skip rule and the same per-element
+// multiply as MVM, and sense noise is drawn per sample in batch order
+// after the compute join — the exact RNG consumption of the per-sample
+// loop. The batched-vs-per-sample differential tests pin this bitwise.
+//
+// Steady-state calls are allocation-free (the scratch is reused across
+// calls); like every Crossbar method it must only be called by the
+// crossbar's owning goroutine.
+func (cb *Crossbar) MVMBatchInto(dst, in *tensor.Dense) {
+	if in.Cols != cb.RowsN {
+		panic(fmt.Sprintf("rram: MVMBatch input width %d, want %d", in.Cols, cb.RowsN))
+	}
+	if dst.Rows != in.Rows || dst.Cols != cb.ColsN {
+		panic(fmt.Sprintf("rram: MVMBatch dst %dx%d, want %dx%d", dst.Rows, dst.Cols, in.Rows, cb.ColsN))
+	}
+	if obs.MetricsEnabled() {
+		cMVMs.Add(int64(in.Rows))
+	}
+	if cap(cb.mvmScratch) < cb.ColsN {
+		cb.mvmScratch = make([]float64, cb.ColsN)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	g := mvmGrain(cb.RowsN * in.Rows)
+	if par.Serial(cb.ColsN, g) {
+		cb.mvmBatchCols(dst, in, 0, cb.ColsN)
+	} else {
+		par.For(cb.ColsN, g, func(c0, c1 int) {
+			cb.mvmBatchCols(dst, in, c0, c1)
+		})
+	}
+	for b := 0; b < dst.Rows; b++ {
+		cb.addSenseNoise(dst.Row(b))
+	}
+}
+
+// mvmBatchCols accumulates output ports [c0, c1) for every sample of the
+// batch. The effective levels of row r are resolved once into the shared
+// scratch (parallel blocks own disjoint column ranges of it), then each
+// sample's drive voltage streams through them. Accumulation per (b, c)
+// matches mvmCols exactly: r-ascending, zero drives skipped, one multiply
+// per term.
+func (cb *Crossbar) mvmBatchCols(dst, in *tensor.Dense, c0, c1 int) {
+	eff := cb.mvmScratch[:cb.ColsN]
+	for r := 0; r < cb.RowsN; r++ {
+		base := r * cb.ColsN
+		for c := c0; c < c1; c++ {
+			eff[c] = cb.effAt(base + c)
+		}
+		for b := 0; b < in.Rows; b++ {
+			v := in.Data[b*in.Cols+r]
 			if v == 0 {
 				continue
 			}
-			base := r * cb.ColsN
+			drow := dst.Data[b*dst.Cols : b*dst.Cols+dst.Cols]
 			for c := c0; c < c1; c++ {
-				out[c] += v * cb.effAt(base+c)
+				drow[c] += v * eff[c]
 			}
 		}
-	})
-	cb.addSenseNoise(out)
-	return out
+	}
 }
 
 // mvmGrain sizes the column blocks so one block covers ~16k cells.

@@ -46,11 +46,19 @@ func TestBatchedServingMatchesPerSampleForward(t *testing.T) {
 		for i := range x.Data {
 			x.Data[i] = g.FloatRange(-1, 1)
 		}
-		out, _ := e.forward(x)
-		batched := out.Clone()
+		// The engine's locked path resolves classes under the substrate
+		// lock (raw logits never outlive it), so take classes from the
+		// engine and logits from a direct batched forward on the same
+		// substrate — identical kernels, no read noise in this config.
+		preds := e.InferBatch(x)
+		batched := m.Net.Forward(x).Clone()
 
 		row := tensor.NewDense(1, in)
 		for i := 0; i < batch; i++ {
+			if preds[i] != batched.ArgMaxRow(i) {
+				return fmt.Errorf("sample %d: engine class %d != batched argmax %d",
+					i, preds[i], batched.ArgMaxRow(i))
+			}
 			copy(row.Row(0), x.Row(i))
 			single := m.Net.Forward(row)
 			for j := 0; j < classes; j++ {

@@ -28,6 +28,13 @@
 // the engine serves degraded results rather than stalling. The window is
 // flagged on a gauge, counted per response, and stamped into each
 // Response via the epoch.
+//
+// The request path is allocation-free at steady state: batch assembly and
+// the batched input matrix are executor-owned scratch, synchronous Infer
+// recycles its bookkeeping through a free list, and the batched forward
+// pass reuses the network's layer buffers. AllocsPerRun gates pin 0
+// allocs/op; PERFORMANCE.md documents the policy and the measured
+// batching speedup, DESIGN.md §7 the buffer-ownership rules.
 package serve
 
 import (
@@ -160,6 +167,27 @@ type Engine struct {
 
 	queue chan *pending
 
+	// Executor-owned batch scratch: collectBuf backs the pending slice a
+	// batch is assembled into, xBuf the batched input matrix, and classBuf
+	// the argmax classes resolved under the substrate lock (the forward
+	// output itself lives in reused layer buffers and must not outlive the
+	// lock). All three are touched only by the batch-executor goroutine, so
+	// reuse needs no locking; steady-state batches allocate nothing (the
+	// AllocsPerRun gates pin this).
+	collectBuf []*pending
+	xBuf       *tensor.Dense
+	classBuf   []int
+
+	// poolMu guards pool, a free list of pending structs recycled by the
+	// synchronous Infer path (each with its response channel pre-made).
+	// A deliberate plain free list, not a sync.Pool: nothing is dropped
+	// on GC, so the steady state is exactly allocation-free and the
+	// churn is deterministic. Submit does NOT use the pool — its response
+	// channel escapes to the caller, so its pending can never be safely
+	// recycled.
+	poolMu sync.Mutex
+	pool   []*pending
+
 	// mu is the substrate lock. The batch executor holds it across one
 	// batched forward pass; the maintenance loop holds it across one
 	// repair step — never a whole pass. Everything the model mutates
@@ -262,22 +290,33 @@ func (e *Engine) QueueDepth() int { return len(e.queue) }
 // when the bounded queue is full, ErrDraining while drained, and
 // ErrClosed after Close.
 func (e *Engine) Submit(req *Request) (<-chan Response, error) {
-	if len(req.X) != e.inSize {
-		return nil, fmt.Errorf("%w: got %d features, model takes %d", ErrBadShape, len(req.X), e.inSize)
+	p := &pending{req: req, resp: make(chan Response, 1)}
+	if err := e.submit(p); err != nil {
+		return nil, err
+	}
+	return p.resp, nil
+}
+
+// submit stamps and enqueues one pending request — the admission path
+// shared by Submit (caller-owned pending) and Infer (pooled pending).
+func (e *Engine) submit(p *pending) error {
+	if len(p.req.X) != e.inSize {
+		return fmt.Errorf("%w: got %d features, model takes %d", ErrBadShape, len(p.req.X), e.inSize)
 	}
 	e.submitMu.RLock()
 	defer e.submitMu.RUnlock()
 	if e.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if e.draining.Load() {
 		if obs.MetricsEnabled() {
 			cDrainRejects.Inc()
 		}
-		return nil, ErrDraining
+		return ErrDraining
 	}
 	now := e.cfg.Clock.Now()
-	p := &pending{req: req, enq: now, resp: make(chan Response, 1)}
+	p.enq = now
+	p.deadline = 0
 	if e.cfg.Timeout > 0 {
 		p.deadline = now + e.cfg.Timeout.Nanoseconds()
 	}
@@ -287,23 +326,52 @@ func (e *Engine) Submit(req *Request) (<-chan Response, error) {
 			cRequests.Inc()
 			gQueueDepth.Add(1)
 		}
-		return p.resp, nil
+		return nil
 	default:
 		if obs.MetricsEnabled() {
 			cRejected.Inc()
 		}
-		return nil, ErrOverloaded
+		return ErrOverloaded
 	}
 }
 
+// getPending pops a recycled pending (or makes one on a cold pool).
+func (e *Engine) getPending(req *Request) *pending {
+	e.poolMu.Lock()
+	if n := len(e.pool); n > 0 {
+		p := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		e.poolMu.Unlock()
+		p.req = req
+		return p
+	}
+	e.poolMu.Unlock()
+	return &pending{req: req, resp: make(chan Response, 1)}
+}
+
+// putPending recycles a pending whose response has been consumed (its
+// channel is empty again, so it can carry the next request).
+func (e *Engine) putPending(p *pending) {
+	p.req = nil
+	e.poolMu.Lock()
+	e.pool = append(e.pool, p)
+	e.poolMu.Unlock()
+}
+
 // Infer submits req and blocks until its response (submission errors are
-// returned inside the Response).
+// returned inside the Response). Unlike Submit it recycles its request
+// bookkeeping through the engine's free list — the caller never sees the
+// response channel, so the synchronous path is allocation-free at steady
+// state.
 func (e *Engine) Infer(req *Request) Response {
-	ch, err := e.Submit(req)
-	if err != nil {
+	p := e.getPending(req)
+	if err := e.submit(p); err != nil {
+		e.putPending(p)
 		return Response{ID: req.ID, Err: err}
 	}
-	return <-ch
+	r := <-p.resp
+	e.putPending(p)
+	return r
 }
 
 // run is the batch executor: the only goroutine that dequeues requests and
@@ -314,7 +382,7 @@ func (e *Engine) run() {
 		select {
 		case p := <-e.queue:
 			e.dequeued()
-			e.runBatch(e.collect(p))
+			e.serveOne(p)
 		case <-e.done:
 			// Serve whatever is still queued, a batch at a time. Close
 			// blocked Submit out before closing done, so every enqueue
@@ -324,13 +392,22 @@ func (e *Engine) run() {
 				select {
 				case p := <-e.queue:
 					e.dequeued()
-					e.runBatch(e.collect(p))
+					e.serveOne(p)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// serveOne assembles and runs one batch starting from p, then hands the
+// batch's backing array back to collectBuf for the next round (collect may
+// have grown it).
+func (e *Engine) serveOne(p *pending) {
+	batch := e.collect(p)
+	e.runBatch(batch)
+	e.collectBuf = batch[:0]
 }
 
 // dequeued maintains the queue-depth gauge.
@@ -353,7 +430,7 @@ func (e *Engine) fired(reason string, size int) {
 // queue when the deadline fires are still taken: the deadline bounds
 // waiting for future requests, not work that is already here.
 func (e *Engine) collect(first *pending) []*pending {
-	batch := []*pending{first}
+	batch := append(e.collectBuf[:0], first)
 	if e.cfg.MaxBatch <= 1 {
 		e.fired("size", len(batch))
 		return batch
@@ -406,19 +483,29 @@ func (e *Engine) runBatch(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
-	x := tensor.NewDense(len(live), e.inSize)
+	e.xBuf = tensor.EnsureShape(e.xBuf, len(live), e.inSize)
+	x := e.xBuf
 	for i, p := range live {
 		copy(x.Row(i), p.req.X)
 	}
-	out, epoch := e.forward(x)
+	if cap(e.classBuf) < len(live) {
+		e.classBuf = make([]int, len(live))
+	}
+	classes := e.classBuf[:len(live)]
+	epoch := e.forwardInto(classes, x)
 	end := e.cfg.Clock.Now()
 	degraded := e.degraded.Load()
 	metricsOn := obs.MetricsEnabled()
 	for i, p := range live {
-		p.resp <- Response{ID: p.req.ID, Class: out.ArgMaxRow(i), Epoch: epoch, LatencyNs: end - p.enq}
+		// Sending the response publishes p: a synchronous caller may recycle
+		// it through the free list and a new submit may re-stamp p.enq the
+		// moment the send completes. Read everything needed from p before
+		// the send and never touch it after.
+		lat := end - p.enq
+		p.resp <- Response{ID: p.req.ID, Class: classes[i], Epoch: epoch, LatencyNs: lat}
 		if metricsOn {
 			cResponses.Inc()
-			hLatencyNs.Observe(end - p.enq)
+			hLatencyNs.Observe(lat)
 			if degraded {
 				cDegradedResp.Inc()
 			}
@@ -430,14 +517,20 @@ func (e *Engine) runBatch(batch []*pending) {
 	}
 }
 
-// forward runs one batched forward pass under the substrate lock and
-// returns the network output (owned by the network's layer buffers, valid
-// until the next forward) plus the repair epoch the batch executed
-// against.
-func (e *Engine) forward(x *tensor.Dense) (*tensor.Dense, int64) {
+// forwardInto runs one batched forward pass under the substrate lock,
+// resolves the argmax class per row into dst, and returns the repair
+// epoch the batch executed against. The network output is owned by the
+// network's reused layer buffers — the next Forward (from the executor
+// or a concurrent InferBatch caller) overwrites it — so it must be fully
+// consumed before the lock is released; nothing escapes this function.
+func (e *Engine) forwardInto(dst []int, x *tensor.Dense) int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.model.Net.Forward(x), e.epoch.Load()
+	out := e.model.Net.Forward(x)
+	for i := range dst {
+		dst[i] = out.ArgMaxRow(i)
+	}
+	return e.epoch.Load()
 }
 
 // InferBatch classifies a pre-assembled batch through the exact code path
@@ -445,12 +538,20 @@ func (e *Engine) forward(x *tensor.Dense) (*tensor.Dense, int64) {
 // argmax class per row — the synchronous API used by the differential
 // tests and the deterministic repair scenario.
 func (e *Engine) InferBatch(x *tensor.Dense) []int {
-	out, _ := e.forward(x)
-	preds := make([]int, out.Rows)
-	for i := range preds {
-		preds[i] = out.ArgMaxRow(i)
-	}
+	preds := make([]int, x.Rows)
+	e.InferBatchInto(preds, x)
 	return preds
+}
+
+// InferBatchInto is InferBatch writing the argmax classes into a
+// caller-provided slice of length x.Rows. It allocates nothing itself;
+// with warmed-up layer buffers the whole call is allocation-free, which
+// the AllocsPerRun gate pins.
+func (e *Engine) InferBatchInto(dst []int, x *tensor.Dense) {
+	if len(dst) != x.Rows {
+		panic(fmt.Sprintf("serve: dst length %d for %d-row batch", len(dst), x.Rows))
+	}
+	e.forwardInto(dst, x)
 }
 
 // AccuracyBatched evaluates classification accuracy over a labelled set by
@@ -463,16 +564,19 @@ func (e *Engine) AccuracyBatched(x *tensor.Dense, labels []int) float64 {
 		return 0
 	}
 	correct := 0
+	var chunk *tensor.Dense
+	preds := make([]int, e.cfg.MaxBatch)
 	for lo := 0; lo < x.Rows; lo += e.cfg.MaxBatch {
 		hi := lo + e.cfg.MaxBatch
 		if hi > x.Rows {
 			hi = x.Rows
 		}
-		chunk := tensor.NewDense(hi-lo, x.Cols)
+		chunk = tensor.EnsureShape(chunk, hi-lo, x.Cols)
 		for i := lo; i < hi; i++ {
 			copy(chunk.Row(i-lo), x.Row(i))
 		}
-		for i, p := range e.InferBatch(chunk) {
+		e.InferBatchInto(preds[:hi-lo], chunk)
+		for i, p := range preds[:hi-lo] {
 			if p == labels[lo+i] {
 				correct++
 			}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"testing"
+
+	"rramft/internal/par"
+)
+
+// TestEnsureShape pins the scratch-buffer contract: nil allocates, a
+// large-enough buffer is reshaped in place without reallocating, and a
+// too-small one grows.
+func TestEnsureShape(t *testing.T) {
+	m := EnsureShape(nil, 3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("nil EnsureShape gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+
+	// Shrink: same backing array, new shape.
+	backing := &m.Data[0]
+	m2 := EnsureShape(m, 2, 5)
+	if m2 != m {
+		t.Fatal("EnsureShape did not reuse the receiver")
+	}
+	if m.Rows != 2 || m.Cols != 5 || len(m.Data) != 10 {
+		t.Fatalf("reshaped to %dx%d len %d, want 2x5 len 10", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != backing {
+		t.Fatal("shrink reallocated the backing array")
+	}
+
+	// Grow past capacity: fresh backing array.
+	m3 := EnsureShape(m, 10, 10)
+	if m3.Rows != 10 || m3.Cols != 10 || len(m3.Data) != 100 {
+		t.Fatalf("grown to %dx%d len %d", m3.Rows, m3.Cols, len(m3.Data))
+	}
+}
+
+// TestEnsureShapeSteadyStateAllocFree: reusing a stable shape must not
+// allocate — the property every hot-path buffer relies on.
+func TestEnsureShapeSteadyStateAllocFree(t *testing.T) {
+	m := EnsureShape(nil, 8, 8)
+	if n := testing.AllocsPerRun(100, func() { m = EnsureShape(m, 8, 8) }); n != 0 {
+		t.Fatalf("steady-state EnsureShape allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestMatMulSerialAllocFree: with the pool pinned serial, the matmul
+// kernels must bypass par.For's closure and allocate nothing.
+func TestMatMulSerialAllocFree(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "1")
+	a, b, dst := NewDense(16, 16), NewDense(16, 16), NewDense(16, 16)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+		b.Data[i] = float64(i%5) - 2
+	}
+	if n := testing.AllocsPerRun(100, func() { MatMul(dst, a, b) }); n != 0 {
+		t.Fatalf("serial MatMul allocates %.1f/op, want 0", n)
+	}
+	ta := NewDense(16, 16)
+	if n := testing.AllocsPerRun(100, func() { MatMulTransA(ta, a, b) }); n != 0 {
+		t.Fatalf("serial MatMulTransA allocates %.1f/op, want 0", n)
+	}
+	tb := NewDense(16, 16)
+	if n := testing.AllocsPerRun(100, func() { MatMulTransB(tb, a, b) }); n != 0 {
+		t.Fatalf("serial MatMulTransB allocates %.1f/op, want 0", n)
+	}
+}

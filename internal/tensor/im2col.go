@@ -28,29 +28,40 @@ func Im2Col(dst *Dense, src []float64, inC, h, w, kh, kw, stride, pad int) {
 	}
 	// Patch-row-blocked: each dst row (one output position's patch) is
 	// filled independently, so the parallel output is byte-identical to
-	// the serial one.
-	par.For(pr, blockGrain(pc), func(p0, p1 int) {
-		for p := p0; p < p1; p++ {
-			oy, ox := p/outW, p%outW
-			drow := dst.Row(p)
-			idx := 0
-			for c := 0; c < inC; c++ {
-				chBase := c * h * w
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*stride + ky - pad
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*stride + kx - pad
-						if iy < 0 || iy >= h || ix < 0 || ix >= w {
-							drow[idx] = 0
-						} else {
-							drow[idx] = src[chBase+iy*w+ix]
-						}
-						idx++
+	// the serial one. The serial path bypasses par.For to stay
+	// allocation-free (see par.Serial).
+	g := blockGrain(pc)
+	if par.Serial(pr, g) {
+		im2colRows(dst, src, outW, inC, h, w, kh, kw, stride, pad, 0, pr)
+		return
+	}
+	par.For(pr, g, func(p0, p1 int) {
+		im2colRows(dst, src, outW, inC, h, w, kh, kw, stride, pad, p0, p1)
+	})
+}
+
+// im2colRows fills dst rows [p0, p1) of the patch matrix.
+func im2colRows(dst *Dense, src []float64, outW, inC, h, w, kh, kw, stride, pad, p0, p1 int) {
+	for p := p0; p < p1; p++ {
+		oy, ox := p/outW, p%outW
+		drow := dst.Row(p)
+		idx := 0
+		for c := 0; c < inC; c++ {
+			chBase := c * h * w
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*stride + ky - pad
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*stride + kx - pad
+					if iy < 0 || iy >= h || ix < 0 || ix >= w {
+						drow[idx] = 0
+					} else {
+						drow[idx] = src[chBase+iy*w+ix]
 					}
+					idx++
 				}
 			}
 		}
-	})
+	}
 }
 
 // Col2Im scatters patch-matrix gradients back into image gradients,

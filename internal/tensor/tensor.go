@@ -38,6 +38,30 @@ func NewDense(rows, cols int) *Dense {
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// EnsureShape returns a rows×cols matrix, reusing m's backing array when
+// it is large enough. A nil m allocates fresh; otherwise m is reshaped in
+// place (growing Data only when capacity is insufficient) and returned.
+// The contents of the returned matrix are unspecified — callers must fully
+// overwrite it. This is the scratch-buffer primitive behind the
+// allocation-free hot paths (DESIGN.md §7): steady-state shapes hit the
+// reuse path and never allocate.
+func EnsureShape(m *Dense, rows, cols int) *Dense {
+	if m == nil {
+		return NewDense(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // FromSlice wraps data as a rows×cols matrix. The slice is used directly,
 // not copied. It panics if len(data) != rows*cols.
 func FromSlice(rows, cols int, data []float64) *Dense {
@@ -119,8 +143,15 @@ func MatMul(dst, a, b *Dense) {
 	}
 	// Row-blocked: each worker owns a contiguous band of dst rows. Every
 	// dst row is computed with the same k-ascending accumulation whatever
-	// the partition, so the output matches the serial path exactly.
-	par.For(a.Rows, blockGrain(a.Cols*b.Cols), func(i0, i1 int) {
+	// the partition, so the output matches the serial path exactly. The
+	// serial path skips par.For so the closure never materializes — the
+	// single-worker matmul is allocation-free.
+	g := blockGrain(a.Cols * b.Cols)
+	if par.Serial(a.Rows, g) {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.For(a.Rows, g, func(i0, i1 int) {
 		matMulRows(dst, a, b, i0, i1)
 	})
 }
@@ -181,7 +212,12 @@ func MatMulTransA(dst, a, b *Dense) {
 	// Column-blocked: keeping the k-outer loop order (which skips zero
 	// aᵏᵢ entries once per k) while giving each worker a disjoint slice
 	// of every dst row. Accumulation per element stays k-ascending.
-	par.For(b.Cols, blockGrain(a.Rows*a.Cols), func(j0, j1 int) {
+	g := blockGrain(a.Rows * a.Cols)
+	if par.Serial(b.Cols, g) {
+		matMulTransACols(dst, a, b, 0, b.Cols)
+		return
+	}
+	par.For(b.Cols, g, func(j0, j1 int) {
 		matMulTransACols(dst, a, b, j0, j1)
 	})
 }
@@ -219,7 +255,12 @@ func MatMulTransB(dst, a, b *Dense) {
 		panic(fmt.Sprintf("tensor: matmulTB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
 	// Row-blocked: every dst element is an independent dot product.
-	par.For(a.Rows, blockGrain(a.Cols*b.Rows), func(i0, i1 int) {
+	g := blockGrain(a.Cols * b.Rows)
+	if par.Serial(a.Rows, g) {
+		matMulTransBRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.For(a.Rows, g, func(i0, i1 int) {
 		matMulTransBRows(dst, a, b, i0, i1)
 	})
 }

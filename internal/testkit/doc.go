@@ -1,5 +1,5 @@
 // Package testkit is a stdlib-only property-testing toolkit for the
-// simulator (DESIGN.md §8): a seeded quickcheck-style runner (ForAll) over
+// simulator (DESIGN.md §9): a seeded quickcheck-style runner (ForAll) over
 // generator handles (Gen) with size shrinking, plus golden-file helpers
 // (golden.go) that pin exact numerical results for fixed seeds — including
 // the telemetry-journal goldens of internal/obs.

@@ -17,7 +17,7 @@ import (
 	"rramft/internal/tensor"
 )
 
-// Registry counters mirroring Stats (DESIGN.md §9), so a journal shows
+// Registry counters mirroring Stats (DESIGN.md §10), so a journal shows
 // the write-filtering rate — the paper's §5.1 lifetime lever — evolving
 // during the run rather than only as an end-of-run ratio. They are
 // flushed once per FilterDelta call from local tallies (never per weight

@@ -12,5 +12,5 @@
 // fully exposed through MarshalBinary/UnmarshalBinary. That makes every
 // stream snapshotable: serialize it mid-sequence, restore it in a fresh
 // process, and the continuation is byte-identical — the property the
-// checkpoint/resume protocol in internal/core (DESIGN.md §7) is built on.
+// checkpoint/resume protocol in internal/core (DESIGN.md §8) is built on.
 package xrand

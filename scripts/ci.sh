@@ -28,11 +28,14 @@ fi
 go vet ./...
 go build ./...
 
-# Docs gates: every exported identifier in the observability layer and the
-# CLI helpers must carry a doc comment (these packages define the
-# user-facing telemetry contract, so undocumented API is a bug), and the
-# README CLI reference must match the binaries' own -help-md output.
-for pkg in internal/obs internal/cliutil internal/repair internal/cluster; do
+# Docs gates: every exported identifier in the observability layer, the
+# CLI helpers, the maintenance/serving layers and the hot-path substrate
+# packages must carry a doc comment (these packages define user-facing
+# contracts — telemetry, serving API, the batched-MVM equivalence rules —
+# so undocumented API is a bug), and the README CLI reference must match
+# the binaries' own -help-md output.
+for pkg in internal/obs internal/cliutil internal/repair internal/cluster \
+           internal/rram internal/mapping internal/serve internal/perf; do
     undocumented=$(awk '
         /^\/\// { commented = 1; next }
         /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -50,7 +53,7 @@ scripts/gen_cli_docs.sh -check
 
 # Layering gate: internal/repair is the shared maintenance layer under both
 # the trainer and the serving engine; it must depend on neither (DESIGN.md
-# §10). An import in either direction would be a cycle waiting to happen
+# §11). An import in either direction would be a cycle waiting to happen
 # and would let driver-specific policy leak into the shared stages.
 repair_deps=$(go list -deps ./internal/repair)
 for forbidden in rramft/internal/core rramft/internal/serve; do
@@ -70,6 +73,16 @@ fi
 
 go test ./...
 go test -race -short ./...
+
+# Bench smoke: a short hot-path suite run must produce a structurally
+# valid BENCH.json (all required ops, finite timings, resolvable baseline
+# references). This gates the suite's plumbing, not the numbers — the
+# committed baseline is regenerated with the default -bench-time 1s; see
+# PERFORMANCE.md.
+bench_json=$(mktemp)
+go run ./cmd/rramft-bench -bench-json "$bench_json" -bench-time 25ms > /dev/null
+go run ./cmd/rramft-bench -bench-verify "$bench_json"
+rm -f "$bench_json"
 
 # Serving soak under the race detector: 5 s of concurrent clients against a
 # live engine with background repair and a mid-run fault burst (the plain
