@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"rramft/internal/chaos"
 	"rramft/internal/cliutil"
 	"rramft/internal/exp"
 	"rramft/internal/obs"
@@ -47,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	qps := flag.Float64("qps", 0, "target aggregate request rate for the serve experiment's load phases; 0 runs unpaced")
+	chaosSpec := flag.String("chaos", "", "campaign spec the chaos experiment sweeps instead of the canonical one (kind@offset[:key=value,...];... — see DESIGN.md §15)")
 	telemetry := flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 	benchJSON := flag.String("bench-json", "", "run the hot-path benchmark suite instead of the experiments and write its BENCH.json document to this file (see PERFORMANCE.md)")
@@ -107,6 +109,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rramft-bench: %v\n", err)
 		os.Exit(2)
 	}
+	if _, err := chaos.ParseSchedule(*chaosSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "rramft-bench: -chaos: %v\n", err)
+		os.Exit(2)
+	}
 	closeJournal, err := cliutil.Telemetry(*telemetry, *debugAddr, cliutil.Header{
 		Cmd: "rramft-bench", Seed: *seed, Config: cliutil.FlagValues(flag.CommandLine),
 	})
@@ -125,6 +131,7 @@ func main() {
 		scale = exp.Full
 	}
 	exp.ServeQPS = *qps
+	exp.ChaosCampaign = *chaosSpec
 	for _, id := range ids {
 		gen := exp.Registry[id]
 		sp := obs.Span(id)

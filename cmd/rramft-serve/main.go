@@ -28,15 +28,18 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"rramft/internal/chaos"
 	"rramft/internal/cliutil"
 	"rramft/internal/cluster"
 	"rramft/internal/core"
@@ -55,6 +58,7 @@ type options struct {
 	MaxBatch      int
 	Timeout       time.Duration
 	Replicas      int
+	Chaos         string
 }
 
 // validate rejects impossible flag combinations before the model is
@@ -84,6 +88,9 @@ func (o options) validate() error {
 	if o.Replicas < 1 {
 		return fmt.Errorf("-replicas must be at least 1, got %d", o.Replicas)
 	}
+	if _, err := chaos.ParseSchedule(o.Chaos); err != nil {
+		return fmt.Errorf("-chaos: %w (kinds: %s)", err, strings.Join(chaos.Kinds(), ", "))
+	}
 	return nil
 }
 
@@ -102,6 +109,7 @@ func main() {
 		replicas    = flag.Int("replicas", 1, "number of independent replica substrates behind the health-scored router (see DESIGN.md §14)")
 		rebuildFrom = flag.String("rebuild-from", "", "checkpoint file whose weights become the replica image (built and rebuilt from) instead of freshly trained ones")
 		telemetry   = flag.String("telemetry", "", "write a JSONL telemetry journal of spans and counters to this file (see OBSERVABILITY.md)")
+		chaosSpec   = flag.String("chaos", "", "fault campaign driven against the live server: kind@offset[:key=value,...] events joined by ';' (see DESIGN.md §15)")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
 		helpMD      = flag.Bool("help-md", false, "print the CLI reference as a markdown table and exit")
 	)
@@ -116,6 +124,7 @@ func main() {
 		Iters: *iters, TrainN: *trainN, Faults: *faults,
 		RepairEvery: *repairEvery, RepairPolicy: *policy,
 		MaxBatch: *maxBatch, Timeout: *timeout, Replicas: *replicas,
+		Chaos: *chaosSpec,
 	}
 	if err := opt.validate(); err != nil {
 		log.Fatalf("rramft-serve: %v", err)
@@ -148,6 +157,7 @@ func main() {
 	m, ds := serve.TrainScenarioModel(cfg)
 
 	var b backend
+	var chaosTarget chaos.Target
 	if opt.Replicas == 1 && *rebuildFrom == "" {
 		e := serve.NewEngine(m, ds.InSize(), cfg.Serve)
 		defer e.Close()
@@ -157,6 +167,7 @@ func main() {
 			}
 		}
 		b = e
+		chaosTarget = e.ChaosTarget()
 	} else {
 		image := cluster.CaptureImage(m)
 		if *rebuildFrom != "" {
@@ -183,9 +194,19 @@ func main() {
 			}
 		}
 		b = d
+		chaosTarget = d.ChaosTarget()
 	}
 	log.Printf("rramft-serve: ready (%d replicas, %d features in, %d classes out)",
 		opt.Replicas, b.InSize(), b.Classes())
+
+	if opt.Chaos != "" {
+		// validate() already vetted the spec; ParseSchedule cannot fail here.
+		sched, _ := chaos.ParseSchedule(opt.Chaos)
+		ce := chaos.NewEngine(sched, chaosTarget, *seed, nil)
+		ce.Start()
+		defer ce.Stop()
+		log.Printf("rramft-serve: chaos campaign armed: %s", sched)
+	}
 
 	if *listen == "" {
 		if err := serveStream(b, os.Stdin, os.Stdout); err != nil {
@@ -212,13 +233,37 @@ type backend interface {
 	Classes() int
 }
 
-// serveListener accepts connections forever, one goroutine per connection.
+// Accept-retry backoff bounds: transient accept failures (timeouts,
+// file-descriptor exhaustion) back off exponentially from acceptBackoffMin
+// to acceptBackoffMax instead of spinning the accept loop hot; a successful
+// accept resets the backoff.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// serveListener accepts connections until the listener fails permanently,
+// one goroutine per connection. A transient net.Error (a timeout, or the
+// temporarily-out-of-resources condition EMFILE surfaces as) does not kill
+// the server: the loop logs it, sleeps with capped exponential backoff and
+// keeps accepting — a saturated or chaos-stricken host degrades to slower
+// accepts instead of exiting with clients still connected.
 func serveListener(b backend, ln net.Listener) error {
+	backoff := acceptBackoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if isTransientAccept(err) {
+				log.Printf("rramft-serve: accept: %v (retrying in %s)", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				continue
+			}
 			return err
 		}
+		backoff = acceptBackoffMin
 		go func() {
 			defer conn.Close()
 			if err := serveStream(b, conn, conn); err != nil {
@@ -226,6 +271,29 @@ func serveListener(b backend, ln net.Listener) error {
 			}
 		}()
 	}
+}
+
+// isTransientAccept reports whether an accept error is worth retrying: a
+// net.Error that is a timeout or declares itself temporary. A closed
+// listener (net.ErrClosed) is always permanent.
+func isTransientAccept(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		return false
+	}
+	if ne.Timeout() {
+		return true
+	}
+	// Temporary is deprecated as an API, but it is still the only signal
+	// syscall-level accept errors like EMFILE/ECONNABORTED carry.
+	type temporary interface{ Temporary() bool }
+	if te, ok := err.(temporary); ok && te.Temporary() {
+		return true
+	}
+	return false
 }
 
 // serveStream pumps one line-delimited JSON stream through the engine.

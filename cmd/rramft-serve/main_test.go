@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -40,6 +42,9 @@ func TestValidateServeFlags(t *testing.T) {
 		{"zero timeout", func(o *options) { o.Timeout = 0 }},
 		{"zero replicas", func(o *options) { o.Replicas = 0 }},
 		{"negative replicas", func(o *options) { o.Replicas = -2 }},
+		{"bad chaos kind", func(o *options) { o.Chaos = "meteor@10ms" }},
+		{"chaos missing offset", func(o *options) { o.Chaos = "burst:frac=0.1" }},
+		{"chaos bad param", func(o *options) { o.Chaos = "burst@10ms:frac=2" }},
 	}
 	for _, tc := range cases {
 		o := validServeOptions()
@@ -47,6 +52,11 @@ func TestValidateServeFlags(t *testing.T) {
 		if err := o.validate(); err == nil {
 			t.Errorf("%s: validate accepted %+v", tc.name, o)
 		}
+	}
+	o := validServeOptions()
+	o.Chaos = serve.CanonicalCampaign
+	if err := o.validate(); err != nil {
+		t.Errorf("canonical campaign rejected: %v", err)
 	}
 }
 
@@ -172,6 +182,105 @@ func TestServeStreamClusterBackend(t *testing.T) {
 			t.Errorf("duplicate response id %q", r.ID)
 		}
 		seen[r.ID] = true
+	}
+}
+
+// transientAcceptErr mimics the temporary net.Error a loaded kernel hands
+// back from accept (EMFILE, ECONNABORTED, timeouts).
+type transientAcceptErr struct{ timeout bool }
+
+func (e transientAcceptErr) Error() string   { return "accept: resource temporarily unavailable" }
+func (e transientAcceptErr) Timeout() bool   { return e.timeout }
+func (e transientAcceptErr) Temporary() bool { return true }
+
+// flakyListener replays a scripted Accept sequence — errors and real
+// connections interleaved — then fails permanently with net.ErrClosed.
+type flakyListener struct {
+	mu      sync.Mutex
+	script  []any // error or net.Conn, consumed in order
+	accepts int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.accepts++
+	if len(l.script) == 0 {
+		return nil, net.ErrClosed
+	}
+	next := l.script[0]
+	l.script = l.script[1:]
+	if err, ok := next.(error); ok {
+		return nil, err
+	}
+	return next.(net.Conn), nil
+}
+
+func (l *flakyListener) Close() error   { return nil }
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestServeListenerSurvivesTransientAcceptErrors is the accept-loop
+// hardening regression: transient net.Errors must not kill the server — the
+// loop backs off, keeps accepting, still serves the connection that follows,
+// and only a permanent error (a closed listener) ends it.
+func TestServeListenerSurvivesTransientAcceptErrors(t *testing.T) {
+	e := testEngine(t)
+	server, client := net.Pipe()
+	ln := &flakyListener{script: []any{
+		transientAcceptErr{timeout: true},
+		transientAcceptErr{timeout: false}, // Temporary-only, like EMFILE
+		server,
+		transientAcceptErr{timeout: true},
+	}}
+
+	done := make(chan error, 1)
+	go func() { done <- serveListener(e, ln) }()
+
+	// The connection accepted between the failures must still be served.
+	client.SetDeadline(time.Now().Add(10 * time.Second))
+	x := make([]float64, e.InSize())
+	b, _ := json.Marshal(map[string]any{"id": "flaky-0", "x": x})
+	if _, err := client.Write(append(b, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	var r wireResp
+	if err := json.NewDecoder(client).Decode(&r); err != nil {
+		t.Fatalf("reading response across flaky accepts: %v", err)
+	}
+	if r.ID != "flaky-0" || r.Error != "" {
+		t.Errorf("bad response across flaky accepts: %+v", r)
+	}
+	client.Close()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("serveListener returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveListener did not return after permanent accept error")
+	}
+	if ln.accepts != 5 { // 2 transient + conn + 1 transient + permanent
+		t.Errorf("listener saw %d accepts, want 5", ln.accepts)
+	}
+}
+
+func TestIsTransientAccept(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"timeout", transientAcceptErr{timeout: true}, true},
+		{"temporary only", transientAcceptErr{timeout: false}, true},
+		{"closed listener", net.ErrClosed, false},
+		{"wrapped closed", fmt.Errorf("accept: %w", net.ErrClosed), false},
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := isTransientAccept(tc.err); got != tc.want {
+			t.Errorf("%s: isTransientAccept = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,21 @@
+// Package chaos is the deterministic fault-campaign engine: it schedules
+// runtime failure events — stuck-at bursts, intermittent cells with seeded
+// duty cycles, read-disturb and write-failure windows, conductance drift
+// ramps, replica crashes, maintenance stalls and queue-saturation bursts —
+// against a running session, all derived from one seed and one Schedule so
+// an identical campaign reproduces byte-for-byte (DESIGN.md §15).
+//
+// A campaign is written in a small spec language (ParseSchedule), e.g.
+//
+//	burst@200ms:frac=0.05,sa0=0.5;intermittent@100ms:cells=8,period=50ms,duty=0.5;crash@1s:replica=0
+//
+// and executed by an Engine against a Target: the substrate hooks (each
+// crossbar plus the owning tier's locked-step closure) and the optional
+// tier hooks (Crash/Stall/Saturate) that serve.Engine.ChaosTarget and
+// cluster.Dispatcher.ChaosTarget provide. Events fire in scheduled order on
+// the shared obs.Clock, either synchronously (RunUntil — the byte-stable
+// golden-campaign mode) or from a background goroutine (Start/Stop — the
+// wall-clock soak mode). The package deliberately sits below serve and
+// cluster in the layering: it imports only the substrate (fault, rram) and
+// the observability spine, and the tiers hand it closures.
+package chaos

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzChaosSchedule proves no campaign spec can panic the parser, that
+// every accepted schedule is fully specified (finite parameters in range,
+// positive periods, non-negative offsets) and armable, and that the
+// canonical String form round-trips to an identical schedule — the
+// contract -chaos relies on when echoing a campaign into run metadata.
+func FuzzChaosSchedule(f *testing.F) {
+	seeds := []string{
+		"",
+		"burst@200ms:frac=0.05,sa0=0.5",
+		"intermittent@100ms:cells=8,period=50ms,duty=0.5,count=4",
+		"disturb@1s:prob=0.01,mag=1,for=250ms",
+		"writefail@0s:prob=0.3,for=1s",
+		"drift@2s:factor=0.98,every=100ms,count=20",
+		"crash@1s:replica=1;stall@2s:for=100ms;saturate@3s:n=64",
+		"burst@1h:frac=1,sa0=0;burst@1h:frac=0,sa0=1",
+		"burst@200ms;burst@200ms:every=100ms,count=2",
+		"meteor@1s",
+		"burst",
+		"burst@",
+		"burst@-1s",
+		"burst@1s:frac=2",
+		"burst@1s:frac=-0",
+		"burst@1s:frac=1e309",
+		"burst@1s:frac=NaN",
+		"intermittent@1s:period=0s",
+		"intermittent@1s:every=5ms",
+		"drift@1s:factor=-1",
+		"burst@1s:count=3",
+		";;;",
+		"burst@1s:,",
+		"burst@1s:=",
+		"burst@9223372036854775807ns",
+		"burst@1s:frac=0.5,frac=0.9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("ParseSchedule returned both a schedule and error %v", err)
+			}
+			return
+		}
+		for i, ev := range s {
+			if ev.At < 0 {
+				t.Fatalf("event %d: accepted negative offset %v", i, ev.At)
+			}
+			for name, v := range map[string]float64{
+				"frac": ev.Frac, "sa0": ev.SA0, "duty": ev.Duty, "prob": ev.Prob,
+			} {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("event %d: %s=%v outside [0,1]", i, name, v)
+				}
+			}
+			if math.IsNaN(ev.Mag) || math.IsInf(ev.Mag, 0) || ev.Mag < 0 {
+				t.Fatalf("event %d: mag=%v", i, ev.Mag)
+			}
+			if ev.Kind == Drift && (ev.Factor <= 0 || math.IsInf(ev.Factor, 0)) {
+				t.Fatalf("event %d: factor=%v", i, ev.Factor)
+			}
+			if ev.Kind == Intermittent && ev.Period <= 0 {
+				t.Fatalf("event %d: period=%v", i, ev.Period)
+			}
+			if ev.Cells < 0 || ev.N < 0 || ev.Replica < 0 || ev.Count < 0 {
+				t.Fatalf("event %d: negative count field %+v", i, ev)
+			}
+			if ev.Count > 0 && ev.Every == 0 && ev.Kind != Intermittent {
+				t.Fatalf("event %d: count without every survived validation", i)
+			}
+		}
+		canon := s.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if len(s) == 0 {
+			s = Schedule{}
+		}
+		if len(s2) == 0 {
+			s2 = Schedule{}
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip diverged:\n  %+v\n  %+v", s, s2)
+		}
+		// Every accepted schedule must be armable without firing anything.
+		e := NewEngine(s, Target{}, 1, nil)
+		if e.RunUntil(e.clock.Now()-time.Second.Nanoseconds()) != 0 {
+			t.Fatal("arming fired events in the past")
+		}
+	})
+}

@@ -1,0 +1,396 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event kinds understood by the campaign engine and the spec parser.
+const (
+	// Burst injects a one-shot stuck-at fault burst into every store.
+	Burst = "burst"
+	// Intermittent arms a group of cells that flip between stuck and
+	// healthy on a seeded duty cycle.
+	Intermittent = "intermittent"
+	// Disturb opens a transient read-disturb window on every store.
+	Disturb = "disturb"
+	// Drift applies one multiplicative conductance-drift step to every
+	// store (recur with every= to build a ramp).
+	Drift = "drift"
+	// WriteFail opens a stochastic write-failure window on every store.
+	WriteFail = "writefail"
+	// Crash abruptly kills and rebuilds one replica (cluster tier).
+	Crash = "crash"
+	// Stall suspends the maintenance loop for a while.
+	Stall = "stall"
+	// Saturate floods the serving queue with junk requests.
+	Saturate = "saturate"
+)
+
+// Event is one scheduled campaign event. Only the fields relevant to its
+// Kind are meaningful; ParseSchedule fills the rest with per-kind defaults
+// so a parsed event is always fully specified.
+type Event struct {
+	// Kind is one of the kind constants above.
+	Kind string
+	// At is the event's offset from the campaign origin.
+	At time.Duration
+	// Every re-fires the event periodically (0 = fire once). Not valid
+	// for intermittent events, whose period is their own cycle.
+	Every time.Duration
+	// Count bounds the recurrence: with Every, the total number of
+	// firings; for intermittent events, the number of duty cycles. Zero
+	// means unbounded.
+	Count int
+
+	// Frac is the fraction of cells struck by a burst.
+	Frac float64
+	// SA0 is the stuck-at-0 polarity share of burst and intermittent
+	// faults.
+	SA0 float64
+	// Cells is the intermittent group size per store.
+	Cells int
+	// Period is the full on+off cycle length of an intermittent group.
+	Period time.Duration
+	// Duty is the faulty fraction of each intermittent cycle.
+	Duty float64
+	// Prob is the per-port disturb probability or per-pulse write-failure
+	// probability.
+	Prob float64
+	// Mag is the read-disturb magnitude in conductance levels.
+	Mag float64
+	// For is the window length of disturb/writefail events (0 = rest of
+	// the campaign) and the stall duration.
+	For time.Duration
+	// Factor is the per-step drift multiplier.
+	Factor float64
+	// N is the junk-request count of a saturation burst.
+	N int
+	// Replica is the replica index a crash targets.
+	Replica int
+}
+
+// Schedule is an ordered fault campaign. ParseSchedule builds one from the
+// -chaos spec; String renders the canonical form that re-parses to an
+// identical schedule.
+type Schedule []Event
+
+// paramsFor lists the per-kind spec keys (beyond the shared every/count).
+var paramsFor = map[string][]string{
+	Burst:        {"frac", "sa0"},
+	Intermittent: {"cells", "period", "duty", "sa0"},
+	Disturb:      {"prob", "mag", "for"},
+	Drift:        {"factor"},
+	WriteFail:    {"prob", "for"},
+	Crash:        {"replica"},
+	Stall:        {"for"},
+	Saturate:     {"n"},
+}
+
+// defaultsFor returns a fully-defaulted event of the given kind.
+func defaultsFor(kind string) (Event, bool) {
+	ev := Event{Kind: kind}
+	switch kind {
+	case Burst:
+		ev.Frac, ev.SA0 = 0.05, 0.5
+	case Intermittent:
+		ev.Cells, ev.Period, ev.Duty, ev.SA0 = 8, 100*time.Millisecond, 0.5, 0.5
+	case Disturb:
+		ev.Prob, ev.Mag = 0.01, 1
+	case Drift:
+		ev.Factor = 0.98
+	case WriteFail:
+		ev.Prob = 0.1
+	case Crash:
+		ev.Replica = 0
+	case Stall:
+		ev.For = 100 * time.Millisecond
+	case Saturate:
+		ev.N = 64
+	default:
+		return ev, false
+	}
+	return ev, true
+}
+
+// ParseSchedule parses a campaign spec: semicolon-separated events of the
+// form kind@offset[:key=value,...], offsets and durations in Go duration
+// syntax. Unknown kinds or keys, malformed values, probabilities outside
+// [0,1] and non-positive periods are errors; omitted keys take the
+// documented per-kind defaults. An empty spec parses to an empty schedule.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: event %q: %w", part, err)
+		}
+		s = append(s, ev)
+	}
+	return s, nil
+}
+
+// MustParse is ParseSchedule that panics on error — for tests and
+// compile-time-constant campaigns.
+func MustParse(spec string) Schedule {
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseEvent(part string) (Event, error) {
+	head, params, hasParams := strings.Cut(part, ":")
+	kindStr, offStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing @offset")
+	}
+	ev, known := defaultsFor(strings.TrimSpace(kindStr))
+	if !known {
+		return Event{}, fmt.Errorf("unknown kind %q", strings.TrimSpace(kindStr))
+	}
+	at, err := parseDur(strings.TrimSpace(offStr))
+	if err != nil {
+		return Event{}, fmt.Errorf("offset: %w", err)
+	}
+	ev.At = at
+	if hasParams {
+		for _, kv := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Event{}, fmt.Errorf("parameter %q is not key=value", kv)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if err := ev.setParam(k, v); err != nil {
+				return Event{}, fmt.Errorf("%s: %w", k, err)
+			}
+		}
+	}
+	if err := ev.validate(); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// setParam assigns one key=value onto the event, enforcing the per-kind
+// key whitelist.
+func (ev *Event) setParam(k, v string) error {
+	switch k {
+	case "every":
+		if ev.Kind == Intermittent {
+			return fmt.Errorf("not valid for intermittent (its period is the cycle)")
+		}
+		d, err := parseDur(v)
+		if err != nil {
+			return err
+		}
+		if d <= 0 {
+			return fmt.Errorf("must be positive")
+		}
+		ev.Every = d
+		return nil
+	case "count":
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("want a non-negative integer, got %q", v)
+		}
+		ev.Count = n
+		return nil
+	}
+	allowed := false
+	for _, p := range paramsFor[ev.Kind] {
+		if p == k {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("unknown key for %s", ev.Kind)
+	}
+	switch k {
+	case "frac":
+		return parseUnit(v, &ev.Frac)
+	case "sa0":
+		return parseUnit(v, &ev.SA0)
+	case "duty":
+		return parseUnit(v, &ev.Duty)
+	case "prob":
+		return parseUnit(v, &ev.Prob)
+	case "mag":
+		f, err := parseFinite(v)
+		if err != nil {
+			return err
+		}
+		if f < 0 {
+			return fmt.Errorf("must be >= 0")
+		}
+		ev.Mag = f
+		return nil
+	case "factor":
+		f, err := parseFinite(v)
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("must be positive")
+		}
+		ev.Factor = f
+		return nil
+	case "cells", "n", "replica":
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("want a non-negative integer, got %q", v)
+		}
+		switch k {
+		case "cells":
+			ev.Cells = n
+		case "n":
+			ev.N = n
+		default:
+			ev.Replica = n
+		}
+		return nil
+	case "period", "for":
+		d, err := parseDur(v)
+		if err != nil {
+			return err
+		}
+		if k == "period" {
+			if d <= 0 {
+				return fmt.Errorf("must be positive")
+			}
+			ev.Period = d
+		} else {
+			if d < 0 {
+				return fmt.Errorf("must be >= 0")
+			}
+			ev.For = d
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown key")
+}
+
+// validate checks cross-field constraints after all params are set.
+func (ev *Event) validate() error {
+	if ev.At < 0 {
+		return fmt.Errorf("offset must be >= 0")
+	}
+	if ev.Count > 0 && ev.Every == 0 && ev.Kind != Intermittent {
+		return fmt.Errorf("count without every")
+	}
+	if ev.Kind == Intermittent && ev.Duty > 0 && ev.Duty < 1 {
+		on := time.Duration(float64(ev.Period) * ev.Duty)
+		if on <= 0 || on >= ev.Period {
+			return fmt.Errorf("duty cycle degenerates at period %v", ev.Period)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical spec: every event with its full parameter
+// set in a fixed order, so ParseSchedule(s.String()) reproduces s exactly.
+func (s Schedule) String() string {
+	parts := make([]string, 0, len(s))
+	for _, ev := range s {
+		parts = append(parts, ev.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one event in canonical spec form.
+func (ev Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", ev.Kind, ev.At)
+	kv := make([]string, 0, 6)
+	add := func(k, v string) { kv = append(kv, k+"="+v) }
+	ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	switch ev.Kind {
+	case Burst:
+		add("frac", ff(ev.Frac))
+		add("sa0", ff(ev.SA0))
+	case Intermittent:
+		add("cells", strconv.Itoa(ev.Cells))
+		add("period", ev.Period.String())
+		add("duty", ff(ev.Duty))
+		add("sa0", ff(ev.SA0))
+	case Disturb:
+		add("prob", ff(ev.Prob))
+		add("mag", ff(ev.Mag))
+		add("for", ev.For.String())
+	case Drift:
+		add("factor", ff(ev.Factor))
+	case WriteFail:
+		add("prob", ff(ev.Prob))
+		add("for", ev.For.String())
+	case Crash:
+		add("replica", strconv.Itoa(ev.Replica))
+	case Stall:
+		add("for", ev.For.String())
+	case Saturate:
+		add("n", strconv.Itoa(ev.N))
+	}
+	if ev.Every > 0 {
+		add("every", ev.Every.String())
+	}
+	if ev.Count > 0 {
+		add("count", strconv.Itoa(ev.Count))
+	}
+	if len(kv) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(kv, ","))
+	}
+	return b.String()
+}
+
+// Kinds returns the event kinds the parser understands, sorted — for CLI
+// help text.
+func Kinds() []string {
+	ks := make([]string, 0, len(paramsFor))
+	for k := range paramsFor {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// parseDur parses a Go duration and rejects negatives disguised by
+// unusual formatting.
+func parseDur(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", v)
+	}
+	return d, nil
+}
+
+// parseFinite parses a float and rejects NaN/Inf.
+func parseFinite(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("want a finite number, got %q", v)
+	}
+	return f, nil
+}
+
+// parseUnit parses a probability/fraction in [0,1] into dst.
+func parseUnit(v string, dst *float64) error {
+	f, err := parseFinite(v)
+	if err != nil {
+		return err
+	}
+	if f < 0 || f > 1 {
+		return fmt.Errorf("must be in [0,1], got %v", f)
+	}
+	*dst = f
+	return nil
+}

@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleFull(t *testing.T) {
+	s, err := ParseSchedule("burst@200ms:frac=0.1,sa0=0.25; intermittent@100ms:cells=4,period=50ms,duty=0.5,count=3 ;drift@1s:factor=0.99,every=100ms,count=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(s))
+	}
+	b := s[0]
+	if b.Kind != Burst || b.At != 200*time.Millisecond || b.Frac != 0.1 || b.SA0 != 0.25 {
+		t.Errorf("burst = %+v", b)
+	}
+	in := s[1]
+	if in.Kind != Intermittent || in.Cells != 4 || in.Period != 50*time.Millisecond || in.Duty != 0.5 || in.Count != 3 {
+		t.Errorf("intermittent = %+v", in)
+	}
+	d := s[2]
+	if d.Kind != Drift || d.Factor != 0.99 || d.Every != 100*time.Millisecond || d.Count != 10 {
+		t.Errorf("drift = %+v", d)
+	}
+}
+
+func TestParseScheduleDefaults(t *testing.T) {
+	s := MustParse("burst@0s")
+	if s[0].Frac != 0.05 || s[0].SA0 != 0.5 {
+		t.Errorf("burst defaults = %+v", s[0])
+	}
+	s = MustParse("intermittent@0s")
+	if s[0].Cells != 8 || s[0].Period != 100*time.Millisecond || s[0].Duty != 0.5 {
+		t.Errorf("intermittent defaults = %+v", s[0])
+	}
+	s = MustParse("saturate@10ms")
+	if s[0].N != 64 {
+		t.Errorf("saturate defaults = %+v", s[0])
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	s, err := ParseSchedule("")
+	if err != nil || len(s) != 0 {
+		t.Fatalf("empty spec: %v, %v", s, err)
+	}
+	s, err = ParseSchedule(" ; ; ")
+	if err != nil || len(s) != 0 {
+		t.Fatalf("blank events: %v, %v", s, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"burst",                        // missing @offset
+		"meteor@1s",                    // unknown kind
+		"burst@zzz",                    // bad duration
+		"burst@-5ms",                   // negative offset
+		"burst@1s:frac=1.5",            // out of range
+		"burst@1s:frac=NaN",            // non-finite
+		"burst@1s:cells=4",             // key not valid for kind
+		"burst@1s:frac",                // not key=value
+		"burst@1s:count=2",             // count without every
+		"intermittent@1s:every=100ms",  // every invalid for intermittent
+		"intermittent@1s:period=0s",    // non-positive period
+		"intermittent@1s:period=-50ms", // negative period
+		"drift@1s:factor=0",            // non-positive factor
+		"crash@1s:replica=-1",          // negative index
+		"stall@1s:for=-1ms",            // negative window
+		"burst@1s:every=0s",            // non-positive recurrence
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"burst@200ms:frac=0.1,sa0=0.25",
+		"intermittent@100ms:cells=4,period=50ms,duty=0.5,sa0=1,count=3",
+		"disturb@1s:prob=0.02,mag=1.5,for=300ms",
+		"writefail@0s:prob=0.5,for=1s",
+		"drift@2s:factor=0.95,every=250ms,count=8",
+		"crash@1s:replica=2",
+		"stall@500ms:for=200ms",
+		"saturate@750ms:n=128;burst@900ms",
+	}
+	for _, spec := range specs {
+		s := MustParse(spec)
+		s2, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", s.String(), spec, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("round trip of %q: %+v != %+v", spec, s, s2)
+		}
+	}
+}
+
+func TestKindsListsEveryKind(t *testing.T) {
+	ks := Kinds()
+	want := []string{Burst, Crash, Disturb, Drift, Intermittent, Saturate, Stall, WriteFail}
+	if !reflect.DeepEqual(ks, want) {
+		t.Errorf("Kinds() = %v, want %v", ks, want)
+	}
+	for _, k := range ks {
+		if _, err := ParseSchedule(k + "@1ms"); err != nil {
+			t.Errorf("kind %s does not parse with defaults: %v", k, err)
+		}
+	}
+}
+
+func TestScheduleStringJoinsWithSemicolons(t *testing.T) {
+	s := MustParse("burst@1ms;crash@2ms")
+	if got := s.String(); strings.Count(got, ";") != 1 {
+		t.Errorf("String() = %q", got)
+	}
+}

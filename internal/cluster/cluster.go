@@ -160,6 +160,10 @@ type Dispatcher struct {
 	maintDone   chan struct{}
 	maintenance atomic.Bool
 	wg          sync.WaitGroup
+	// stallUntil is the absolute serve-clock deadline of the active
+	// StallMaintenance window (0 = none); maintenance ticks inside it skip
+	// their probe+repair round.
+	stallUntil atomic.Int64
 }
 
 // New builds the dispatcher and its replica engines. Replica i's model
@@ -554,6 +558,9 @@ func (d *Dispatcher) StartMaintenance() error {
 			case <-d.done:
 				return
 			case <-d.cfg.Serve.Clock.After(d.cfg.Repair.Every.Nanoseconds()):
+				if d.maintenanceStalled() {
+					continue
+				}
 				d.ProbeAll()
 				i := next % len(d.replicas)
 				next++

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"rramft/internal/chaos"
+	"rramft/internal/metrics"
+	"rramft/internal/obs"
+	"rramft/internal/serve"
+)
+
+// ChaosCampaign optionally replaces the canonical campaign spec the chaos
+// experiment sweeps; empty (the default) uses serve.CanonicalCampaign.
+// cmd/rramft-bench exposes it as -chaos.
+var ChaosCampaign string
+
+// ChaosDegradation sweeps the canonical chaos campaign's intensity against
+// a live serving engine and reports how gracefully the system degrades:
+// the accuracy floor during the campaign, the time from leaving to
+// re-entering the recovery band, the number of tick probes outside it
+// (SLO violations), and whether the run recovered to within two points of
+// pre-fault accuracy without a restart. Each run trains a fresh model and
+// drives the campaign on a fake clock, so the sweep is deterministic for a
+// fixed seed — only the intensity multiplier changes between columns.
+func ChaosDegradation(scale Scale, seed int64) *Report {
+	intensities := []float64{0.5, 1, 2}
+	base := serve.DefaultChaosScenarioConfig(seed)
+	if scale == Quick {
+		base.Base.TrainN, base.Base.TestN, base.Base.Iters = 300, 100, 300
+	} else {
+		intensities = []float64{0.5, 1, 2, 4}
+	}
+	campaign := serve.CanonicalCampaign
+	if ChaosCampaign != "" {
+		campaign = ChaosCampaign
+	}
+
+	pre := &metrics.Series{Name: "pre-fault"}
+	floor := &metrics.Series{Name: "floor"}
+	final := &metrics.Series{Name: "final"}
+	recov := &metrics.Series{Name: "recover-ms"}
+	slo := &metrics.Series{Name: "slo-violations"}
+	passes := &metrics.Series{Name: "repair-passes"}
+
+	var notes []string
+	recovered := 0
+	for _, k := range intensities {
+		cfg := base
+		cfg.Base.Serve.Clock = obs.NewFakeClock(0)
+		cfg.Campaign = scaleCampaign(chaos.MustParse(campaign), k)
+		res := serve.RunChaosScenario(cfg)
+		res.Engine.Close()
+
+		recMS := -1.0 // sentinel: never re-entered the band
+		recStr := "never recovered"
+		if res.Recovered {
+			recMS = float64(res.RecoverNS) / float64(time.Millisecond)
+			recStr = "recovered in " + time.Duration(res.RecoverNS).Round(time.Millisecond).String()
+			recovered++
+		}
+		pre.Append(k, res.PreFault)
+		floor.Append(k, res.Floor)
+		final.Append(k, res.Final)
+		recov.Append(k, recMS)
+		slo.Append(k, float64(res.SLOViolations))
+		passes.Append(k, float64(res.Passes))
+		notes = append(notes, fmt.Sprintf(
+			"intensity %gx: %.3f -> floor %.3f -> final %.3f, %s, %d faults estimated, %d transients cleared on re-test",
+			k, res.PreFault, res.Floor, res.Final, recStr,
+			res.Stats.EstimatedFaults, res.Stats.RetestCleared))
+	}
+	notes = append(notes, fmt.Sprintf(
+		"%d/%d intensities recovered to within %.0f points of pre-fault accuracy without a restart (campaign: %s)",
+		recovered, len(intensities), 100*serve.RecoveryMargin, campaign))
+
+	return &Report{
+		ID:    "chaos",
+		Title: "Graceful degradation under scheduled fault campaigns of increasing intensity",
+		Tables: []*metrics.Table{{
+			Title:   "chaos campaign sweep — canonical campaign scaled by intensity",
+			XLabel:  "intensity",
+			Series:  []*metrics.Series{pre, floor, final, recov, slo, passes},
+			Decimal: 3,
+		}},
+		Notes: notes,
+	}
+}
+
+// scaleCampaign multiplies the canonical campaign's damage knobs by k:
+// fault fractions and probabilities (clamped to 1), intermittent group
+// sizes and saturation burst sizes. Timing and polarity are untouched, so
+// every intensity runs the same arc, just harder.
+func scaleCampaign(s chaos.Schedule, k float64) chaos.Schedule {
+	out := make(chaos.Schedule, len(s))
+	for i, ev := range s {
+		ev.Frac = clamp01(ev.Frac * k)
+		ev.Prob = clamp01(ev.Prob * k)
+		ev.Cells = int(float64(ev.Cells) * k)
+		ev.N = int(float64(ev.N) * k)
+		if ev.Kind == chaos.Drift {
+			// Drift scales by pulling the factor further from 1.
+			ev.Factor = 1 - (1-ev.Factor)*k
+			if ev.Factor < 0.5 {
+				ev.Factor = 0.5
+			}
+		}
+		out[i] = ev
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -68,6 +68,7 @@ var Registry = map[string]Generator{
 	"serve":    ServingUnderFaults,
 	"policies": RepairPolicies,
 	"cluster":  ClusterReplicas,
+	"chaos":    ChaosDegradation,
 }
 
 // IDs returns the registered experiment ids in sorted order.

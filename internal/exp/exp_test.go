@@ -9,7 +9,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every experiment id from DESIGN.md §4 must be registered.
 	want := []string{"fig1", "fig6a", "fig6b", "selected", "fig7a", "fig7b",
 		"deltaw", "lifetime", "retrain", "headline", "ablation", "march", "serve",
-		"policies", "cluster"}
+		"policies", "cluster", "chaos"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q not registered", id)

@@ -70,6 +70,17 @@ type StoreConfig struct {
 	// read as a proportionally larger — more poisonous — weight.
 	// Ignored when WMax is set explicitly.
 	WMaxHeadroom float64
+	// MaxWriteRetries hardens every cell program with bounded
+	// verify-and-retry (rram.WriteVerified): each write is read back and
+	// re-programmed up to MaxWriteRetries total attempts, and a cell that
+	// never verifies is degraded into a tracked stuck fault instead of
+	// silently holding a wrong value. Zero keeps the plain
+	// fire-and-forget write path, byte-identical to earlier builds.
+	MaxWriteRetries int
+	// VerifyTol is the write-verify tolerance in conductance levels
+	// (zero defaults to 0.5, half the inter-level spacing). Ignored when
+	// MaxWriteRetries is zero.
+	VerifyTol float64
 }
 
 // DefaultStoreConfig returns an 8-level, 0.1-variance, unlimited-endurance,
@@ -85,6 +96,9 @@ type CrossbarStore struct {
 	cb         *rram.Crossbar
 	wMax       float64
 	levelScale float64 // weight units per level
+
+	maxWriteRetries int     // 0 = plain writes, >0 = verify-and-retry
+	verifyTol       float64 // level units; 0 defaults in rram.WriteVerified
 
 	sign    []int8 // logical sign matrix (periphery registers)
 	keep    []bool // pruning mask; nil until SetPruneMask
@@ -114,10 +128,13 @@ func NewCrossbarStore(name string, w *tensor.Dense, cfg StoreConfig, rng *xrand.
 		cb:         rram.New(w.Rows, w.Cols, cfg.Crossbar, rng),
 		wMax:       wMax,
 		levelScale: wMax / float64(cfg.Crossbar.Levels-1),
-		sign:       make([]int8, w.Rows*w.Cols),
-		rowPerm:    remap.IdentityPerm(w.Rows),
-		colPerm:    remap.IdentityPerm(w.Cols),
-		readBuf:    tensor.NewDense(w.Rows, w.Cols),
+
+		maxWriteRetries: cfg.MaxWriteRetries,
+		verifyTol:       cfg.VerifyTol,
+		sign:            make([]int8, w.Rows*w.Cols),
+		rowPerm:         remap.IdentityPerm(w.Rows),
+		colPerm:         remap.IdentityPerm(w.Cols),
+		readBuf:         tensor.NewDense(w.Rows, w.Cols),
 	}
 	for i := 0; i < s.rows; i++ {
 		for j := 0; j < s.cols; j++ {
@@ -206,11 +223,19 @@ func (s *CrossbarStore) ApplyDelta(delta *tensor.Dense) {
 	}
 }
 
-// programCell writes the signed weight w into the physical cell (pr, pc).
-// The sign register only updates when the cell itself is writable: a stuck
-// cell freezes both its conductance and its stored polarity.
+// programCell writes the signed weight w into the physical cell (pr, pc),
+// through the verify-and-retry path when the store was configured with
+// MaxWriteRetries (a giveup there marks the cell stuck before the fault
+// check below). The sign register only updates when the cell itself is
+// writable: a stuck cell freezes both its conductance and its stored
+// polarity.
 func (s *CrossbarStore) programCell(li, pr, pc int, w float64) {
-	s.cb.Write(pr, pc, math.Abs(w)/s.levelScale)
+	target := math.Abs(w) / s.levelScale
+	if s.maxWriteRetries > 0 {
+		s.cb.WriteVerified(pr, pc, target, s.maxWriteRetries, s.verifyTol)
+	} else {
+		s.cb.Write(pr, pc, target)
+	}
 	if s.cb.Fault(pr, pc).IsFault() {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rramft/internal/fault"
 	"rramft/internal/obs"
 	"rramft/internal/prune"
 	"rramft/internal/tensor"
@@ -13,6 +14,10 @@ import (
 // RestoreReference (the serving layer's repair cost, priced next to
 // mapping.remap_writes).
 var cRestoreWrites = obs.NewCounter("mapping.reference_restore_writes")
+
+// cRetestCleared counts estimated faults cleared by the transient re-test
+// (OBSERVABILITY.md, "Chaos & write-verify").
+var cRetestCleared = obs.NewCounter("mapping.retest_cleared")
 
 // KeptOnEstimatedFaults counts kept logical weights sitting on cells the
 // latest detection estimated faulty — the serving layer's degraded-mode
@@ -30,6 +35,39 @@ func (s *CrossbarStore) KeptOnEstimatedFaults() int {
 		}
 	}
 	return n
+}
+
+// RetestEstimatedFaults re-probes every cell the latest detection
+// estimated faulty (rram.Crossbar.ProbeWritable: nudge, read back, restore)
+// and clears the estimate for cells that respond — the transient/permanent
+// distinction the repair pipeline applies before destructive stages.
+// Intermittent cells that happened to be stuck during the detection pass
+// but have since cleared are re-tested healthy here, so they are neither
+// remapped away nor disconnected; a genuinely stuck cell ignores the probe
+// and its estimate stands. deltaLevels is the probe increment (<= 0
+// defaults to one level, the detection method's test increment). Each
+// probed cell costs at most two writes. Returns the number of estimates
+// cleared; a no-op before any detection ran.
+func (s *CrossbarStore) RetestEstimatedFaults(deltaLevels float64) int {
+	if s.est == nil {
+		return 0
+	}
+	cleared := 0
+	for pr := 0; pr < s.est.Rows; pr++ {
+		for pc := 0; pc < s.est.Cols; pc++ {
+			if !s.est.At(pr, pc).IsFault() {
+				continue
+			}
+			if s.cb.ProbeWritable(pr, pc, deltaLevels) {
+				s.est.Set(pr, pc, fault.None)
+				cleared++
+			}
+		}
+	}
+	if cleared > 0 && obs.MetricsEnabled() {
+		cRetestCleared.Add(int64(cleared))
+	}
+	return cleared
 }
 
 // DisconnectEstimatedFaults prunes every kept logical weight whose cell the

@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"rramft/internal/fault"
+	"rramft/internal/tensor"
+	"rramft/internal/xrand"
+)
+
+func TestVerifiedStoreMatchesPlainWhenHealthy(t *testing.T) {
+	// On a healthy array with modest write noise every program verifies on
+	// the first attempt, so the verified store reads the same weights a
+	// plain store would (same seed, same draw order).
+	w := tensor.FromSlice(2, 2, []float64{0.9, -0.3, 0.1, 0.5})
+	plain := noiselessStoreConfig()
+	plain.WMax = 1.0
+	plain.Crossbar.WriteStd = 0.02
+	verified := plain
+	verified.MaxWriteRetries = 3
+	a := NewCrossbarStore("fc", w.Clone(), plain, xrand.New(80))
+	b := NewCrossbarStore("fc", w.Clone(), verified, xrand.New(80))
+	ra, rb := a.Read(), b.Read()
+	for i := range ra.Data {
+		if ra.Data[i] != rb.Data[i] {
+			t.Fatalf("weight %d: plain %v vs verified %v", i, ra.Data[i], rb.Data[i])
+		}
+	}
+	if s := b.Crossbar().Stats(); s.WriteRetries != 0 || s.WriteGiveups != 0 {
+		t.Errorf("healthy array retried %d / gave up %d, want 0/0", s.WriteRetries, s.WriteGiveups)
+	}
+}
+
+func TestVerifiedStoreDegradesFailingWrites(t *testing.T) {
+	cfg := noiselessStoreConfig()
+	cfg.WMax = 1.0
+	cfg.MaxWriteRetries = 3
+	w := tensor.FromSlice(1, 3, []float64{0.9, 0.1, 0.5})
+	s := NewCrossbarStore("fc", w, cfg, xrand.New(81))
+	// Every pulse now fails: the next programming sweep must give up on
+	// each touched cell and register it as stuck rather than leave a stale
+	// level pretending to be the new weight.
+	s.Crossbar().SetWriteFail(1.0, xrand.New(82))
+	delta := tensor.FromSlice(1, 3, []float64{-0.5, 0.4, 0.2})
+	s.ApplyDelta(delta)
+	st := s.Crossbar().Stats()
+	if st.WriteGiveups != 3 {
+		t.Fatalf("WriteGiveups = %d, want 3 (one per touched cell)", st.WriteGiveups)
+	}
+	if got := s.Crossbar().FaultMap().CountFaulty(); got != 3 {
+		t.Errorf("fault map counts %d stuck cells, want 3", got)
+	}
+	// Each given-up cell is pinned at its nearer rail (SA1 for the 0.9
+	// weight sitting near the top, SA0 for the low ones), so reads expose
+	// tracked rail values — never the requested targets silently missed.
+	got := s.Read()
+	want := []float64{1.0, 0, 0}
+	for j := range want {
+		if math.Abs(math.Abs(got.At(0, j))-want[j]) > 1e-9 {
+			t.Errorf("|w[%d]| = %v, want %v", j, math.Abs(got.At(0, j)), want[j])
+		}
+	}
+}
+
+func TestRetestEstimatedFaultsClearsTransients(t *testing.T) {
+	cfg := noiselessStoreConfig()
+	cfg.WMax = 1.0
+	w := tensor.FromSlice(1, 3, []float64{0.9, 0.1, 0.5})
+	s := NewCrossbarStore("fc", w, cfg, xrand.New(83))
+	if got := s.RetestEstimatedFaults(1); got != 0 {
+		t.Errorf("before detection: cleared %d, want 0", got)
+	}
+	// Cell 0: genuinely stuck. Cell 1: was stuck during detection but has
+	// since cleared (intermittent). Cell 2: detection false positive.
+	s.Crossbar().SetFault(0, 0, fault.SA0)
+	est := fault.NewMap(1, 3)
+	est.Set(0, 0, fault.SA0)
+	est.Set(0, 1, fault.SA1)
+	est.Set(0, 2, fault.SA0)
+	s.SetEstimatedFaults(est)
+	if got := s.RetestEstimatedFaults(1); got != 2 {
+		t.Fatalf("cleared %d estimates, want 2 (transient + false positive)", got)
+	}
+	if k := s.EstimatedFaultAt(0, 0); k != fault.SA0 {
+		t.Errorf("permanent fault estimate = %v, want SA0 (must stand)", k)
+	}
+	if k := s.EstimatedFaultAt(0, 1); k != fault.None {
+		t.Errorf("cleared intermittent estimate = %v, want None", k)
+	}
+	if k := s.EstimatedFaultAt(0, 2); k != fault.None {
+		t.Errorf("false-positive estimate = %v, want None", k)
+	}
+	// The probe restored programmed intent: reads are unchanged.
+	got := s.Read()
+	want := []float64{0, 0.1, 0.5} // cell 0 is SA0
+	for j := range want {
+		if math.Abs(got.At(0, j)-want[j]) > 1e-9 {
+			t.Errorf("w[%d] = %v, want %v", j, got.At(0, j), want[j])
+		}
+	}
+}

@@ -17,6 +17,12 @@ const (
 	DefaultAdaptTol   = 0.5
 )
 
+// DefaultRetestDelta is the probe amplitude of the transient re-test, in
+// conductance levels: large enough that a responsive cell's movement
+// clears the closed-loop write tolerance, small enough not to disturb the
+// stored weight beyond what the probe itself restores.
+const DefaultRetestDelta = 1.0
+
 // Config parameterizes one maintenance pass, for every policy. Policies
 // read the subset that concerns them; the zero value is usable after
 // WithDefaults. Fields deliberately mirror the union of the old
@@ -66,6 +72,21 @@ type Config struct {
 	RestoreTol float64
 	AdaptTol   float64
 
+	// RetestTransients inserts a re-test stage after detection: every
+	// estimated-faulty cell is probed with a small behavioural write test
+	// (see mapping.CrossbarStore.RetestEstimatedFaults), and cells that
+	// respond are cleared from the estimate before any destructive stage
+	// (disconnect, remap, restore) acts on it. This is how repair learns
+	// the transient/permanent distinction under runtime fault dynamics: an
+	// intermittent stuck cell whose window closed between detection and
+	// repair is healthy again, and cutting it would trade a working weight
+	// for a stale estimate. Off by default — fabrication-time faults never
+	// clear, so the extra probe writes buy nothing there.
+	RetestTransients bool
+	// RetestDelta is the probe amplitude of the re-test in conductance
+	// levels (default DefaultRetestDelta).
+	RetestDelta float64
+
 	// MeasureOutcome makes the controller re-count kept weights on
 	// estimated-faulty cells after the last stage (one extra substrate
 	// touch through the Step hook) and classify the pass on
@@ -95,6 +116,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.RemapPhases < 0 {
 		c.RemapPhases = 0
+	}
+	if c.RetestDelta <= 0 {
+		c.RetestDelta = DefaultRetestDelta
 	}
 	return c
 }

@@ -35,9 +35,20 @@ func (Paper) Name() string { return "paper" }
 // magnitude costs use one only when the driver supplies it.
 func (Paper) NeedsReference() bool { return false }
 
+// detectStages is the detection prefix every policy shares: the detection
+// run, plus the transient re-test when the config asks stale estimates to
+// be re-probed before any destructive stage consumes them.
+func detectStages(cfg Config) []Stage {
+	s := []Stage{DetectStage{}}
+	if cfg.RetestTransients {
+		s = append(s, RetestStage{})
+	}
+	return s
+}
+
 // Stages implements Policy.
 func (Paper) Stages(cfg Config, t *Target, phase int) []Stage {
-	stages := []Stage{DetectStage{}, RampMaskStage{}}
+	stages := append(detectStages(cfg), RampMaskStage{})
 	if cfg.Remap != nil && (cfg.RemapPhases == 0 || phase <= cfg.RemapPhases) {
 		stages = append(stages, BoundaryRemapStage{Magnitude: cfg.MagnitudeCosts && t.HasRefs()})
 	}
@@ -60,9 +71,9 @@ func (GoldenImage) NeedsReference() bool { return true }
 // Stages implements Policy.
 func (GoldenImage) Stages(cfg Config, t *Target, _ int) []Stage {
 	if !cfg.Restore || !t.HasRefs() {
-		return []Stage{DetectStage{}, DisconnectEstimatedStage{}}
+		return append(detectStages(cfg), DisconnectEstimatedStage{})
 	}
-	stages := []Stage{DetectStage{}, RefMaskStage{}}
+	stages := append(detectStages(cfg), RefMaskStage{})
 	if cfg.Remap != nil {
 		stages = append(stages, BoundaryRemapStage{Magnitude: true}, FreeSideRemapStage{})
 	}
@@ -84,8 +95,8 @@ func (DropConnect) Name() string { return "dropconnect" }
 func (DropConnect) NeedsReference() bool { return false }
 
 // Stages implements Policy.
-func (DropConnect) Stages(Config, *Target, int) []Stage {
-	return []Stage{DetectStage{}, DisconnectEstimatedStage{}}
+func (DropConnect) Stages(cfg Config, _ *Target, _ int) []Stage {
+	return append(detectStages(cfg), DisconnectEstimatedStage{})
 }
 
 // policies is the registry behind ByName and Names.

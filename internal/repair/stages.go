@@ -54,6 +54,35 @@ func (DetectStage) Run(ctx *Ctx) {
 	}
 }
 
+// RetestStage re-probes every estimated-faulty cell with a small
+// behavioural write test and clears the cells that respond — the
+// transient/permanent distinction. Detection samples a window of the
+// fault dynamics: an intermittent stuck cell flagged during that window
+// may be healthy again by the time destructive stages (disconnect, remap,
+// restore) act on the estimate, and cutting it would trade a working
+// weight for a stale reading. The probe is purely behavioural
+// (mapping.CrossbarStore.RetestEstimatedFaults nudges and restores the
+// programmed level, never consulting ground truth), so a permanently
+// stuck cell fails it and stays estimated. One substrate step per store;
+// clearing estimates is visible state, so the step reports a change when
+// anything cleared.
+type RetestStage struct{}
+
+// Name implements Stage.
+func (RetestStage) Name() string { return "retest" }
+
+// Run implements Stage.
+func (RetestStage) Run(ctx *Ctx) {
+	for _, b := range ctx.Target.Bindings {
+		b := b
+		ctx.Step(func() bool {
+			n := b.Store.RetestEstimatedFaults(ctx.Cfg.RetestDelta)
+			ctx.Stats.RetestCleared += n
+			return n > 0
+		})
+	}
+}
+
 // RampMaskStage computes the *prospective* pruning distribution P from the
 // current effective weights at a ramped sparsity target (½, ¾, ⅞, … of the
 // final target across phases — Han-style iterative pruning; cutting the

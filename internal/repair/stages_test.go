@@ -261,6 +261,12 @@ func TestPolicyStageLists(t *testing.T) {
 			[]string{"detect", "prune_score", "remap", "remap_free", "restore"}},
 		{"dropconnect", DropConnect{}, Config{}, withRefs, 1,
 			[]string{"detect", "disconnect"}},
+		{"paper with retest", Paper{}, Config{RetestTransients: true}, noRefs, 1,
+			[]string{"detect", "retest", "prune_score", "prune_install"}},
+		{"golden full with retest", GoldenImage{}, Config{Restore: true, Remap: dummyOpt{}, RetestTransients: true}, withRefs, 1,
+			[]string{"detect", "retest", "prune_score", "remap", "remap_free", "restore"}},
+		{"dropconnect with retest", DropConnect{}, Config{RetestTransients: true}, withRefs, 1,
+			[]string{"detect", "retest", "disconnect"}},
 	}
 	for _, tc := range cases {
 		got := stageNames(tc.pol.Stages(tc.cfg, tc.target, tc.phase))

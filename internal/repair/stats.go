@@ -55,6 +55,11 @@ type Stats struct {
 	// (the degraded-mode trigger).
 	EstimatedFaults int
 	KeptOnFaults    int
+	// RetestCleared counts estimated faults the re-test stage cleared as
+	// transient (the cell responded to a probe write) before any
+	// destructive stage could act on the stale estimate. Only non-zero
+	// with Config.RetestTransients.
+	RetestCleared int
 	// Disconnected counts kept weights pruned off faulty cells;
 	// RestoreWrites counts golden-image re-programming writes;
 	// RemapWrites counts re-programming writes caused by permutation
@@ -79,6 +84,7 @@ func (s *Stats) Add(o Stats) {
 	s.DetectCycles += o.DetectCycles
 	s.EstimatedFaults += o.EstimatedFaults
 	s.KeptOnFaults += o.KeptOnFaults
+	s.RetestCleared += o.RetestCleared
 	s.Disconnected += o.Disconnected
 	s.RestoreWrites += o.RestoreWrites
 	s.RemapWrites += o.RemapWrites

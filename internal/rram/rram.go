@@ -83,6 +83,18 @@ type Stats struct {
 	AttemptedOnStuck int64
 	// WearOuts counts cells that turned stuck-at due to endurance.
 	WearOuts int64
+	// WriteRetries counts re-program attempts issued by WriteVerified
+	// beyond each first attempt.
+	WriteRetries int64
+	// WriteGiveups counts cells WriteVerified degraded into tracked stuck
+	// faults after exhausting its retry budget.
+	WriteGiveups int64
+	// WriteFails counts write pulses eaten by the stochastic write-failure
+	// model (SetWriteFail).
+	WriteFails int64
+	// ReadDisturbs counts analog output-port readings corrupted by the
+	// read-disturb model (SetReadDisturb).
+	ReadDisturbs int64
 }
 
 // Crossbar is a rows×cols array of simulated RRAM cells.
@@ -108,6 +120,13 @@ type Crossbar struct {
 
 	rng   *xrand.Stream
 	stats Stats
+
+	// dyn holds the opt-in runtime fault dynamics (read disturb, write
+	// failures); nil — the default — disables them all and consumes no RNG.
+	// See dynamics.go. Deliberately excluded from Snapshot/Restore: chaos
+	// campaigns are re-armed by their schedule, not resurrected from
+	// checkpoints.
+	dyn *dynamics
 
 	// mvmScratch caches one row of effective levels during batched MVMs.
 	// It is owned by the crossbar (single-owner invariant above) and lazily
@@ -254,6 +273,9 @@ func (cb *Crossbar) Write(r, c int, target float64) {
 		}
 		return
 	}
+	if cb.writeFailed() {
+		return
+	}
 	max := cb.MaxLevel()
 	if target < 0 {
 		target = 0
@@ -313,14 +335,16 @@ func (cb *Crossbar) SenseRows(cols []int) []float64 {
 	return out
 }
 
-// addSenseNoise perturbs each analog output port reading.
+// addSenseNoise perturbs each analog output port reading: Gaussian sense
+// noise from the crossbar's main RNG, then any transient read-disturb
+// corruption from its dedicated stream (dynamics.go).
 func (cb *Crossbar) addSenseNoise(out []float64) {
-	if cb.cfg.ReadNoiseStd <= 0 {
-		return
+	if cb.cfg.ReadNoiseStd > 0 {
+		for i := range out {
+			out[i] += cb.rng.Gaussian(0, cb.cfg.ReadNoiseStd)
+		}
 	}
-	for i := range out {
-		out[i] += cb.rng.Gaussian(0, cb.cfg.ReadNoiseStd)
-	}
+	cb.disturb(out)
 }
 
 func (cb *Crossbar) effAt(i int) float64 {

@@ -208,6 +208,10 @@ type Engine struct {
 	loopDone    chan struct{}
 	maintDone   chan struct{}
 	maintenance atomic.Bool
+	// stallUntil is the absolute engine-clock deadline of the active
+	// StallMaintenance window (0 = none); maintenance ticks inside it are
+	// skipped.
+	stallUntil atomic.Int64
 
 	// batchHook (test seam) observes every batch decision: reason is
 	// "size" (MaxBatch reached), "deadline" (MaxWait expired) or "drain"

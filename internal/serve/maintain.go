@@ -82,6 +82,9 @@ func (e *Engine) StartMaintenance(cfg RepairConfig, rng *xrand.Stream) error {
 			case <-e.done:
 				return
 			case <-e.cfg.Clock.After(cfg.Every.Nanoseconds()):
+				if e.maintenanceStalled() {
+					continue
+				}
 				e.RepairPass(cfg, rng)
 			}
 		}

@@ -28,6 +28,10 @@ type ScenarioConfig struct {
 	FaultFrac float64
 	BurstFrac float64
 	BurstSA0  float64
+	// MaxWriteRetries hardens the stores' write path with bounded
+	// verify-and-retry (mapping.StoreConfig.MaxWriteRetries). Zero keeps
+	// the historical plain-write path — the chaos scenario turns it on.
+	MaxWriteRetries int
 	// RepairPasses is how many detect-repair iterations run after the
 	// burst before the repaired accuracy is measured (default 2). The
 	// production maintenance loop fires continuously, and the first pass
@@ -144,7 +148,10 @@ func scenarioData(cfg ScenarioConfig) *dataset.Dataset {
 func ScenarioModel(cfg ScenarioConfig, ds *dataset.Dataset) *core.Model {
 	opts := core.DefaultBuildOptions(cfg.Seed)
 	opts.OnRCS = true
-	opts.Store = mapping.StoreConfig{Crossbar: rram.Config{Levels: 8, WriteStd: 0.05, Endurance: fault.Unlimited()}}
+	opts.Store = mapping.StoreConfig{
+		Crossbar:        rram.Config{Levels: 8, WriteStd: 0.05, Endurance: fault.Unlimited()},
+		MaxWriteRetries: cfg.MaxWriteRetries,
+	}
 	opts.InitialFaultFrac = cfg.FaultFrac
 	opts.FCSparsity = 0.5
 	return core.BuildMLP(ds.InSize(), cfg.Hidden, ds.Config.Classes, opts)

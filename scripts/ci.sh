@@ -35,7 +35,8 @@ go build ./...
 # so undocumented API is a bug), and the README CLI reference must match
 # the binaries' own -help-md output.
 for pkg in internal/obs internal/cliutil internal/repair internal/cluster \
-           internal/rram internal/mapping internal/serve internal/perf; do
+           internal/rram internal/mapping internal/serve internal/perf \
+           internal/chaos; do
     undocumented=$(awk '
         /^\/\// { commented = 1; next }
         /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -95,6 +96,13 @@ RRAMFT_SOAK=5s go test -race -run '^TestServeSoak$' ./internal/serve/
 # covers a ~500ms variant).
 RRAMFT_SOAK=5s go test -race -run '^TestClusterSoak$' ./internal/cluster/
 
+# Chaos-campaign soak under the race detector: a scheduled campaign (abrupt
+# replica crash + intermittent fault groups + read-disturb + queue
+# saturation + a maintenance stall) fired from the chaos engine's own
+# goroutine against a 3-replica dispatcher under concurrent load, asserting
+# the conservation invariant holds through all of it (DESIGN.md §15).
+RRAMFT_SOAK=5s go test -race -run '^TestChaosSoak$' ./internal/cluster/
+
 # Coverage floor over internal/... — keeps the harness honest: new code
 # either comes with tests or consciously lowers this number in review.
 # (Measured 81.8% when the floor was set; the margin absorbs small
@@ -119,4 +127,5 @@ if [ "${RRAMFT_FUZZ:-}" = 1 ]; then
     go test ./internal/detect/  -run='^$' -fuzz='^FuzzMarchInput$'      -fuzztime=10s
     go test ./internal/serve/   -run='^$' -fuzz='^FuzzServeRequest$'    -fuzztime=10s
     go test ./internal/cluster/ -run='^$' -fuzz='^FuzzClusterRoute$'    -fuzztime=10s
+    go test ./internal/chaos/   -run='^$' -fuzz='^FuzzChaosSchedule$'   -fuzztime=10s
 fi

@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-RRAMFT_UPDATE_GOLDEN=1 go test ./internal/core/ ./internal/detect/ ./internal/cluster/ -run 'Golden' -count=1 "$@"
+RRAMFT_UPDATE_GOLDEN=1 go test ./internal/core/ ./internal/detect/ ./internal/cluster/ ./internal/serve/ -run 'Golden' -count=1 "$@"
 
 echo
 echo "golden files now:"
